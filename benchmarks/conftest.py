@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``benchmarks/test_*.py`` regenerates one table/figure of the paper:
+it runs the corresponding experiment (quick configuration), prints the
+paper-vs-measured table, asserts the paper's shape claims, and times the
+experiment's core operation with pytest-benchmark.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, run_experiment
+
+_CACHE = {}
+
+
+@pytest.fixture(scope="session")
+def experiment_runner():
+    """Session-cached experiment runner: ``runner("table1") -> result``."""
+
+    def runner(experiment_id: str) -> ExperimentResult:
+        if experiment_id not in _CACHE:
+            _CACHE[experiment_id] = run_experiment(experiment_id, quick=True)
+        return _CACHE[experiment_id]
+
+    return runner
+
+
+def report(result: ExperimentResult) -> None:
+    """Print the rendered table and assert every shape check."""
+    print()
+    print(result.to_text())
+    assert result.passed(), f"shape checks failed: {result.failed_checks()}"

@@ -1,0 +1,10 @@
+"""Ablations — optimized vs paper-literal algorithm variants."""
+from conftest import report
+from repro.core.reachability import compress_reachability_bfs
+from repro.datasets.catalog import load
+
+
+def test_ablations(benchmark, experiment_runner):
+    g = load("p2p", seed=1, scale=0.25)
+    benchmark(compress_reachability_bfs, g)
+    report(experiment_runner("ablations"))

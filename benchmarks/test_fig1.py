@@ -1,0 +1,16 @@
+"""Figure 1 — P2P headline numbers (benchmark: both compressions)."""
+from conftest import report
+from repro.core.pattern import compress_pattern
+from repro.core.reachability import compress_reachability
+from repro.datasets.catalog import load
+
+
+def test_fig1_p2p_summary(benchmark, experiment_runner):
+    g = load("p2p", seed=1, scale=0.8)
+
+    def both():
+        compress_reachability(g)
+        compress_pattern(g)
+
+    benchmark(both)
+    report(experiment_runner("fig1"))

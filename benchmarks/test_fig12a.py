@@ -1,0 +1,17 @@
+"""Fig 12(a) — reachability query time on G vs Gr (benchmark: BFS on Gr)."""
+import random
+
+from conftest import report
+from repro.core.reachability import compress_reachability
+from repro.datasets.catalog import load
+
+
+def test_fig12a_reach_query_time(benchmark, experiment_runner):
+    g = load("socEpinions", seed=1, scale=0.4)
+    rc = compress_reachability(g)
+    rng = random.Random(3)
+    nodes = g.node_list()
+    pairs = [(rng.choice(nodes), rng.choice(nodes)) for _ in range(50)]
+
+    benchmark(lambda: [rc.query(u, v) for u, v in pairs])
+    report(experiment_runner("fig12a"))

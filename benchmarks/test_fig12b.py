@@ -1,0 +1,17 @@
+"""Fig 12(b) — Match time, real-life graphs (benchmark: Match on Gr)."""
+from conftest import report
+from repro.core.pattern import compress_pattern
+from repro.datasets.catalog import load
+from repro.datasets.patterns import random_pattern
+from repro.queries.matching import MatchContext, match
+
+
+def test_fig12b_pattern_query_time(benchmark, experiment_runner):
+    g = load("youtube", seed=1, scale=0.4)
+    pc = compress_pattern(g)
+    gr = pc.compressed
+    q = random_pattern(g, 5, 5, max_bound=3, seed=2)
+    ctx = MatchContext(gr)
+
+    benchmark(lambda: pc.post_process(match(q, gr, ctx)))
+    report(experiment_runner("fig12b"))

@@ -1,0 +1,14 @@
+"""Fig 12(c) — Match time, synthetic graphs (benchmark: Match on G)."""
+from conftest import report
+from repro.datasets.patterns import random_pattern
+from repro.graph.generators import gnm_random_graph
+from repro.queries.matching import MatchContext, match
+
+
+def test_fig12c_pattern_synthetic(benchmark, experiment_runner):
+    g = gnm_random_graph(600, 3600, num_labels=10, seed=9)
+    q = random_pattern(g, 5, 5, max_bound=3, seed=2)
+    ctx = MatchContext(g)
+
+    benchmark(lambda: match(q, g, ctx))
+    report(experiment_runner("fig12c"))

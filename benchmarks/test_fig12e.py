@@ -1,0 +1,21 @@
+"""Fig 12(e) — incRCM vs compressR, insertions (benchmark: incRCM batch)."""
+from conftest import report
+from repro.core.incremental_reach import IncrementalReachabilityCompressor
+from repro.datasets.catalog import load
+from repro.datasets.updates import insertion_batch
+
+
+def test_fig12e_incrcm_insert(benchmark, experiment_runner):
+    g = load("socEpinions", seed=1, scale=0.3)
+
+    def setup():
+        inc = IncrementalReachabilityCompressor(g)
+        batch = insertion_batch(g, 40, seed=7)
+        return (inc, batch), {}
+
+    def run(inc, batch):
+        inc.apply(batch)
+        inc.compression()
+
+    benchmark.pedantic(run, setup=setup, rounds=5)
+    report(experiment_runner("fig12e"))

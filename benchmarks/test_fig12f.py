@@ -1,0 +1,21 @@
+"""Fig 12(f) — incRCM vs compressR, deletions (benchmark: incRCM batch)."""
+from conftest import report
+from repro.core.incremental_reach import IncrementalReachabilityCompressor
+from repro.datasets.catalog import load
+from repro.datasets.updates import deletion_batch
+
+
+def test_fig12f_incrcm_delete(benchmark, experiment_runner):
+    g = load("socEpinions", seed=1, scale=0.3)
+
+    def setup():
+        inc = IncrementalReachabilityCompressor(g)
+        batch = deletion_batch(g, 40, seed=7)
+        return (inc, batch), {}
+
+    def run(inc, batch):
+        inc.apply(batch)
+        inc.compression()
+
+    benchmark.pedantic(run, setup=setup, rounds=5)
+    report(experiment_runner("fig12f"))

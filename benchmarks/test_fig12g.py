@@ -1,0 +1,21 @@
+"""Fig 12(g) — incPCM vs compressB vs IncBsim (benchmark: incPCM batch)."""
+from conftest import report
+from repro.core.incremental_pattern import IncrementalPatternCompressor
+from repro.datasets.catalog import load
+from repro.datasets.updates import mixed_batch
+
+
+def test_fig12g_incpcm_mixed(benchmark, experiment_runner):
+    g = load("youtube", seed=1, scale=0.3)
+
+    def setup():
+        inc = IncrementalPatternCompressor(g)
+        batch = mixed_batch(g, 30, insert_ratio=0.6, seed=5)
+        return (inc, batch), {}
+
+    def run(inc, batch):
+        inc.apply(batch)
+        inc.compression()
+
+    benchmark.pedantic(run, setup=setup, rounds=5)
+    report(experiment_runner("fig12g"))

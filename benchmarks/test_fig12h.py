@@ -1,0 +1,19 @@
+"""Fig 12(h) — incremental querying (benchmark: IncBMatch batch)."""
+from conftest import report
+from repro.datasets.catalog import load
+from repro.datasets.patterns import random_pattern
+from repro.datasets.updates import mixed_batch
+from repro.queries.incremental_match import IncrementalMatcher
+
+
+def test_fig12h_inc_querying(benchmark, experiment_runner):
+    g = load("citation", seed=1, scale=0.3)
+    q = random_pattern(g, 4, 4, max_bound=2, seed=8)
+
+    def setup():
+        matcher = IncrementalMatcher(q, g)
+        batch = mixed_batch(g, 30, insert_ratio=0.7, seed=6)
+        return (matcher, batch), {}
+
+    benchmark.pedantic(lambda m, b: m.apply(b), setup=setup, rounds=5)
+    report(experiment_runner("fig12h"))

@@ -1,0 +1,11 @@
+"""Fig 12(i) — RCr under densification (benchmark: compressR on snapshot)."""
+from conftest import report
+from repro.core.reachability import compress_reachability
+from repro.datasets.evolution import densification_sequence
+
+
+def test_fig12i_rcr_synthetic(benchmark, experiment_runner):
+    snapshots = list(densification_sequence(250, alpha=1.08, beta=1.2, steps=3, seed=2))
+    g = snapshots[-1]
+    benchmark(compress_reachability, g)
+    report(experiment_runner("fig12i"))

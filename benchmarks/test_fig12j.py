@@ -1,0 +1,13 @@
+"""Fig 12(j) — RCr vs real-life growth (benchmark: compressR after growth)."""
+from conftest import report
+from repro.core.reachability import compress_reachability
+from repro.datasets.catalog import load
+from repro.datasets.updates import insertion_batch
+
+
+def test_fig12j_rcr_reallife(benchmark, experiment_runner):
+    g = load("p2p", seed=1, scale=0.5)
+    for _, u, v in insertion_batch(g, int(g.size() * 0.05), seed=3):
+        g.add_edge(u, v)
+    benchmark(compress_reachability, g)
+    report(experiment_runner("fig12j"))

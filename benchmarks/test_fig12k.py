@@ -1,0 +1,13 @@
+"""Fig 12(k) — PCr under densification (benchmark: compressB on snapshot)."""
+from conftest import report
+from repro.core.pattern import compress_pattern
+from repro.datasets.evolution import densification_sequence
+
+
+def test_fig12k_pcr_synthetic(benchmark, experiment_runner):
+    snapshots = list(
+        densification_sequence(250, alpha=1.08, beta=1.2, steps=3, num_labels=10, seed=2)
+    )
+    g = snapshots[-1]
+    benchmark(compress_pattern, g)
+    report(experiment_runner("fig12k"))

@@ -1,0 +1,13 @@
+"""Fig 12(l) — PCr vs real-life growth (benchmark: compressB after growth)."""
+from conftest import report
+from repro.core.pattern import compress_pattern
+from repro.datasets.catalog import load
+from repro.datasets.updates import insertion_batch
+
+
+def test_fig12l_pcr_reallife(benchmark, experiment_runner):
+    g = load("california", seed=1, scale=0.5)
+    for _, u, v in insertion_batch(g, int(g.size() * 0.05), seed=4):
+        g.add_edge(u, v)
+    benchmark(compress_pattern, g)
+    report(experiment_runner("fig12l"))

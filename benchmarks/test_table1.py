@@ -1,0 +1,10 @@
+"""Table 1 — reachability compression ratios (benchmark: compressR)."""
+from conftest import report
+from repro.core.reachability import compress_reachability
+from repro.datasets.catalog import load
+
+
+def test_table1_compression_ratios(benchmark, experiment_runner):
+    g = load("socEpinions", seed=1, scale=0.4)
+    benchmark(compress_reachability, g)
+    report(experiment_runner("table1"))

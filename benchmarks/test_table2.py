@@ -1,0 +1,10 @@
+"""Table 2 — pattern compression ratios (benchmark: compressB)."""
+from conftest import report
+from repro.core.pattern import compress_pattern
+from repro.datasets.catalog import load
+
+
+def test_table2_compression_ratios(benchmark, experiment_runner):
+    g = load("california", seed=1, scale=0.5)
+    benchmark(compress_pattern, g)
+    report(experiment_runner("table2"))

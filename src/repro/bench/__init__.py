@@ -1,0 +1,13 @@
+"""Benchmark harness: one experiment per table/figure of the paper.
+
+``python -m repro.bench <experiment-id>`` regenerates any of them;
+``python -m repro.bench all`` runs the whole evaluation.  The experiment
+ids mirror the paper: ``table1``, ``table2``, ``fig1``, ``fig12a`` …
+``fig12l``.  Each experiment also carries *shape checks* — the qualitative
+claims of the paper (who wins, orderings, crossovers) — which the pytest
+benchmarks assert.
+"""
+
+from repro.bench.harness import ExperimentResult, REGISTRY, run_experiment, available
+
+__all__ = ["ExperimentResult", "REGISTRY", "run_experiment", "available"]

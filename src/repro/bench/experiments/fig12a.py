@@ -1,0 +1,72 @@
+"""Fig. 12(a) — reachability query time on ``G`` vs ``Gr`` (real-life).
+
+The paper plots, per dataset, the running time of BFS and BIBFS on the
+original and the compressed graph as percentages of BFS-on-``G``.  Checked
+shape: evaluation on ``Gr`` is a small fraction of evaluation on ``G`` for
+both algorithms (the paper's socEpinions BFS-on-Gr is ~2% of BFS-on-G).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.harness import ExperimentResult
+from repro.bench.metrics import Stopwatch, ratio_percent
+from repro.core.reachability import compress_reachability
+from repro.datasets.catalog import CATALOG
+from repro.graph.traversal import bidirectional_reachable, path_exists
+
+DATASETS = ["p2p", "wikiVote", "citHepTh", "socEpinions", "notredame"]
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    scale = 0.5 if quick else 1.0
+    n_queries = 100 if quick else 400
+    rows = []
+    ok_fraction = []
+    for name in DATASETS:
+        g = CATALOG[name].build(seed=1, scale=scale)
+        rc = compress_reachability(g)
+        rng = random.Random(11)
+        nodes = g.node_list()
+        pairs = [(rng.choice(nodes), rng.choice(nodes)) for _ in range(n_queries)]
+        bfs_g, bibfs_g, bfs_gr, bibfs_gr = (Stopwatch() for _ in range(4))
+        for u, v in pairs:
+            with bfs_g.measure():
+                a = path_exists(g, u, v)
+            with bibfs_g.measure():
+                b = bidirectional_reachable(g, u, v)
+            with bfs_gr.measure():
+                c = rc.query(u, v)
+            with bibfs_gr.measure():
+                d = rc.query_bibfs(u, v)
+            assert a == b == c == d  # answers must agree — preservation
+        base = bfs_g.total
+        rows.append(
+            {
+                "dataset": name,
+                "BFS on G %": 100.0,
+                "BIBFS on G %": round(ratio_percent(bibfs_g.total, base), 1),
+                "BFS on Gr %": round(ratio_percent(bfs_gr.total, base), 1),
+                "BIBFS on Gr %": round(ratio_percent(bibfs_gr.total, base), 1),
+            }
+        )
+        ok_fraction.append(bfs_gr.total < 0.5 * base and bibfs_gr.total < base)
+
+    checks = [
+        (
+            "evaluation on Gr is far cheaper than on G (every dataset)",
+            all(ok_fraction),
+        ),
+        (
+            "average BFS-on-Gr cost < 25% of BFS-on-G",
+            sum(r["BFS on Gr %"] for r in rows) / len(rows) < 25.0,
+        ),
+    ]
+    return ExperimentResult(
+        experiment="fig12a",
+        title="Reachability query time, original vs compressed (percent of BFS on G)",
+        columns=["dataset", "BFS on G %", "BIBFS on G %", "BFS on Gr %", "BIBFS on Gr %"],
+        rows=rows,
+        checks=checks,
+    )

@@ -1,0 +1,81 @@
+"""Fig. 12(h) — incremental querying: ``IncBMatch`` on ``G`` vs
+``incPCM`` + ``Match`` on ``Gr``.
+
+Citation, growing mixed updates; two ways to keep a pattern answer fresh:
+(1) maintain the match directly on the updated original graph (IncBMatch),
+or (2) maintain the *compressed graph* and re-match on it.  The paper finds
+a crossover (~8K updates) past which the compressed route wins.  Shape
+checks: both routes give identical answers, and the compressed route wins
+for large cumulative updates.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.harness import ExperimentResult
+from repro.core.incremental_pattern import IncrementalPatternCompressor
+from repro.datasets.catalog import CATALOG
+from repro.datasets.patterns import random_pattern
+from repro.datasets.updates import mixed_batch
+from repro.queries.incremental_match import IncrementalMatcher
+from repro.queries.matching import match
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    g = CATALOG["citation"].build(seed=1, scale=0.4 if quick else 0.8)
+    pattern = random_pattern(g, 4, 4, max_bound=2, star_prob=0.25, seed=8)
+    steps = 4 if quick else 7
+    step_size = max(1, int(g.size() * 0.02))
+
+    matcher = IncrementalMatcher(pattern, g)
+    inc = IncrementalPatternCompressor(g)
+    work = g.copy()
+    rows = []
+    direct_total = 0.0
+    compressed_total = 0.0
+    answers_agree = True
+    seed = 77
+    for i in range(1, steps + 1):
+        batch = mixed_batch(work, step_size, insert_ratio=0.7, seed=seed + i)
+        for op, u, v in batch:
+            (work.add_edge if op == "+" else work.remove_edge)(u, v)
+
+        start = time.perf_counter()
+        direct_answer = matcher.apply(batch)
+        direct_total += time.perf_counter() - start
+
+        start = time.perf_counter()
+        inc.apply(batch)
+        pc = inc.compression()
+        compressed_answer = pc.query(pattern, match)
+        compressed_total += time.perf_counter() - start
+
+        if {k: v for k, v in direct_answer.items()} != compressed_answer:
+            answers_agree = False
+
+        rows.append(
+            {
+                "Δ|E|": i * step_size,
+                "IncBMatch on G (s)": round(direct_total, 4),
+                "incPCM+Match on Gr (s)": round(compressed_total, 4),
+                "winner": "compressed"
+                if compressed_total < direct_total
+                else "direct",
+            }
+        )
+
+    checks = [
+        ("both maintenance routes give identical answers", answers_agree),
+        (
+            "compressed route wins by the last increment (paper: after ~8K)",
+            rows[-1]["winner"] == "compressed",
+        ),
+    ]
+    return ExperimentResult(
+        experiment="fig12h",
+        title="Incremental pattern querying: direct vs via compressed graph (citation)",
+        columns=["Δ|E|", "IncBMatch on G (s)", "incPCM+Match on Gr (s)", "winner"],
+        rows=rows,
+        checks=checks,
+    )

@@ -1,0 +1,73 @@
+"""Fig. 12(j) — ``RCr`` vs edge growth on real-life stand-ins.
+
+P2P, wikiVote and citHepTh grow by 5% edge batches attached to high-degree
+nodes with 80% probability (the power-law growth of [20]).  The paper: more
+edges into dense graphs ⇒ more reachability-equivalent nodes ⇒ the ratio
+falls.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentResult
+from repro.core.reachability import compress_reachability
+from repro.datasets.catalog import CATALOG
+from repro.datasets.updates import insertion_batch
+
+DATASETS = ["p2p", "wikiVote", "citHepTh"]
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    scale = 0.5 if quick else 1.0
+    steps = 4 if quick else 9
+    rows = []
+    series = {}
+    for name in DATASETS:
+        g = CATALOG[name].build(seed=1, scale=scale)
+        ratios = []
+        for i in range(steps + 1):
+            ratio = 100.0 * compress_reachability(g).stats().ratio
+            ratios.append(ratio)
+            rows.append(
+                {
+                    "dataset": name,
+                    "Δ|E|%": round(100.0 * (1.05**i - 1), 1),
+                    "|E|": g.size(),
+                    "RCr%": round(ratio, 3),
+                }
+            )
+            if i < steps:
+                batch = insertion_batch(
+                    g, max(1, int(g.size() * 0.05)), seed=50 + i, high_degree_prob=0.8
+                )
+                for _, u, v in batch:
+                    g.add_edge(u, v)
+        series[name] = ratios
+
+    drops = {name: r[0] - r[-1] for name, r in series.items()}
+    checks = [
+        (
+            "edge growth improves reachability compression on average "
+            "(suite-mean RCr falls)",
+            sum(drops.values()) > 0,
+        ),
+        (
+            "a majority of datasets end with a smaller RCr than they started",
+            sum(1 for d in drops.values() if d > 0) * 2 > len(drops),
+        ),
+        (
+            "every dataset stays highly compressible throughout (RCr < 25%)",
+            all(x < 25.0 for r in series.values() for x in r),
+        ),
+    ]
+    return ExperimentResult(
+        experiment="fig12j",
+        title="RCr vs power-law edge growth (real-life stand-ins)",
+        columns=["dataset", "Δ|E|%", "|E|", "RCr%"],
+        rows=rows,
+        checks=checks,
+        notes=(
+            "wikiVote's stand-in starts at the compression floor (~0.1%), so "
+            "its ratio can only wobble upward — a scale artifact recorded in "
+            "EXPERIMENTS.md; the suite-level trend matches the paper"
+        ),
+    )

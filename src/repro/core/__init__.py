@@ -1,0 +1,45 @@
+"""The paper's contribution: query preserving graph compression.
+
+* :mod:`repro.core.base` — the generic ``<R, F, P>`` framework (Section 2.2);
+* :mod:`repro.core.equivalence` — the reachability equivalence relation
+  ``Re`` (Section 3.1);
+* :mod:`repro.core.reachability` — ``compressR`` and the reachability
+  preserving compression artifact (Section 3);
+* :mod:`repro.core.bisimulation` — maximum bisimulation ``Rb`` (Section 4.1,
+  algorithms of [8, 24]);
+* :mod:`repro.core.pattern` — ``compressB`` and the pattern preserving
+  compression artifact (Section 4);
+* :mod:`repro.core.incremental_reach` — ``incRCM`` (Section 5.1);
+* :mod:`repro.core.incremental_pattern` — ``incPCM`` (Section 5.2).
+"""
+
+from repro.core.base import CompressionStats, QueryPreservingCompression
+from repro.core.equivalence import (
+    reachability_partition,
+    reachability_partition_naive,
+)
+from repro.core.reachability import ReachabilityCompression, compress_reachability
+from repro.core.bisimulation import (
+    bisimulation_partition,
+    bisimulation_partition_naive,
+    is_bisimulation,
+)
+from repro.core.pattern import PatternCompression, compress_pattern
+from repro.core.incremental_reach import IncrementalReachabilityCompressor
+from repro.core.incremental_pattern import IncrementalPatternCompressor
+
+__all__ = [
+    "CompressionStats",
+    "QueryPreservingCompression",
+    "reachability_partition",
+    "reachability_partition_naive",
+    "ReachabilityCompression",
+    "compress_reachability",
+    "bisimulation_partition",
+    "bisimulation_partition_naive",
+    "is_bisimulation",
+    "PatternCompression",
+    "compress_pattern",
+    "IncrementalReachabilityCompressor",
+    "IncrementalPatternCompressor",
+]

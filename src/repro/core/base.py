@@ -1,0 +1,110 @@
+"""The generic query preserving compression framework (Section 2.2).
+
+A query preserving graph compression for a query class ``Q`` is a triple
+``<R, F, P>`` where ``R`` compresses a graph, ``F`` rewrites queries and
+``P`` post-processes answers, such that ``Q(G) = P(F(Q)(R(G)))`` and any
+existing evaluation algorithm for ``Q`` runs unmodified on ``R(G)``.
+
+Concrete compressions (:class:`~repro.core.reachability.ReachabilityCompression`,
+:class:`~repro.core.pattern.PatternCompression`) subclass
+:class:`QueryPreservingCompression`, which fixes the shared vocabulary: the
+compressed graph ``Gr``, the node mapping ``R`` (``node_class``), the inverse
+index (``members``), and the compression-ratio metrics reported throughout
+Section 6.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Hashable, List
+
+from repro.graph.digraph import DiGraph
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class CompressionStats:
+    """Size accounting for one compression run.
+
+    ``ratio`` is the paper's *compression ratio* ``|Gr| / |G|`` with
+    ``|G| = |V| + |E|`` (Tables 1 and 2); the smaller the better.
+    """
+
+    original_nodes: int
+    original_edges: int
+    compressed_nodes: int
+    compressed_edges: int
+
+    @property
+    def original_size(self) -> int:
+        return self.original_nodes + self.original_edges
+
+    @property
+    def compressed_size(self) -> int:
+        return self.compressed_nodes + self.compressed_edges
+
+    @property
+    def ratio(self) -> float:
+        """``|Gr| / |G|``; 0.0 for the degenerate empty graph."""
+        if self.original_size == 0:
+            return 0.0
+        return self.compressed_size / self.original_size
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of the graph removed, ``1 - ratio`` (the paper's "95%")."""
+        return 1.0 - self.ratio
+
+    def __str__(self) -> str:
+        return (
+            f"(|V|,|E|) = ({self.original_nodes}, {self.original_edges}) -> "
+            f"({self.compressed_nodes}, {self.compressed_edges}), "
+            f"ratio = {self.ratio:.2%}"
+        )
+
+
+class QueryPreservingCompression(ABC):
+    """Base class for ``<R, F, P>`` compression artifacts.
+
+    Subclasses own a compressed graph and the node mapping computed by their
+    compression function ``R``; they add the query-class specific rewriting
+    ``F`` and post-processing ``P``.
+    """
+
+    @property
+    @abstractmethod
+    def compressed(self) -> DiGraph:
+        """The compressed graph ``Gr = R(G)``."""
+
+    @abstractmethod
+    def node_class(self, v: Node) -> int:
+        """``R(v)``: the hypernode of ``Gr`` that *v* was merged into."""
+
+    @abstractmethod
+    def members(self, hypernode: int) -> List[Node]:
+        """Inverse node mapping: the original nodes inside *hypernode*.
+
+        This is the index the paper's post-processing function ``P`` uses
+        ("an index on the inverse of node mappings of R").
+        """
+
+    @abstractmethod
+    def stats(self) -> CompressionStats:
+        """Size accounting of this compression run."""
+
+    # ------------------------------------------------------------------
+    # Shared conveniences
+    # ------------------------------------------------------------------
+    def compression_ratio(self) -> float:
+        """``|Gr| / |G|`` — Table 1's ``RCr`` / Table 2's ``PCr``."""
+        return self.stats().ratio
+
+    def class_sizes(self) -> Dict[int, int]:
+        """Hypernode id -> number of original nodes it represents."""
+        return {h: len(self.members(h)) for h in self.compressed.nodes()}
+
+    def same_class(self, u: Node, v: Node) -> bool:
+        """True iff ``R`` merged *u* and *v* into the same hypernode."""
+        return self.node_class(u) == self.node_class(v)

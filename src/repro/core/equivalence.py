@@ -1,0 +1,121 @@
+"""The reachability equivalence relation ``Re`` (Section 3.1).
+
+``(u, v) ∈ Re`` iff for every node ``x``: ``x`` can reach ``u`` iff ``x`` can
+reach ``v``, and ``u`` can reach ``x`` iff ``v`` can reach ``x`` — i.e. ``u``
+and ``v`` have the same ancestors and the same descendants.  Reachability is
+via *nonempty* paths (the only reading under which ``Re`` is non-trivial: with
+reflexive reachability ``anc(u) ∋ u`` would force equivalent nodes into one
+SCC, collapsing ``Re`` to the SCC relation and contradicting the paper's
+Example 2 where the sibling agents BSA1 and BSA2 are equivalent).
+
+Structure of ``Re`` (used by ``compressR`` and proved in the module tests):
+
+* all nodes of one *cyclic* SCC are equivalent (they reach each other, hence
+  share both sets);
+* a cyclic SCC is never equivalent to anything outside itself: a member's
+  descendant set contains the member itself, and for an outside node that
+  forces mutual reachability, a contradiction;
+* two *trivial* (acyclic singleton) SCCs are equivalent iff they have equal
+  ancestor and descendant sets in the condensation DAG.
+
+So ``Re``'s classes are: one class per cyclic SCC, plus groups of trivial
+SCCs with equal (ancestor-set, descendant-set) signatures over the
+condensation.  :func:`reachability_partition` computes exactly that with
+bitsets in topological order; :func:`reachability_partition_naive` is the
+literal per-node-BFS definition used to cross-validate it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+from repro.graph.digraph import DiGraph, NodeIndexer
+from repro.graph.partition import Partition
+from repro.graph.scc import Condensation, condensation
+from repro.graph.transitive import ancestor_bitsets, descendant_bitsets
+from repro.graph.traversal import bfs_reachable
+
+Node = Hashable
+
+#: Signature key marking a class that is a single cyclic SCC.  Cyclic SCCs
+#: never merge with anything (see module docstring), so their key just needs
+#: to be unique per SCC.
+_CYCLIC = "cyclic-scc"
+
+
+def scc_signatures(cond: Condensation) -> Dict[int, Tuple]:
+    """Equivalence signature of every SCC of a condensation.
+
+    Trivial SCCs get ``(anc_bitset, desc_bitset)`` over the condensation DAG;
+    cyclic SCCs get a unique key so they form singleton classes.
+    """
+    dag = cond.dag
+    indexer = NodeIndexer(dag.node_list())
+    anc = ancestor_bitsets(dag, indexer)
+    desc = descendant_bitsets(dag, indexer)
+    signatures: Dict[int, Tuple] = {}
+    for s in dag.nodes():
+        if s in cond.cyclic:
+            signatures[s] = (_CYCLIC, s)
+        else:
+            signatures[s] = (anc[s], desc[s])
+    return signatures
+
+
+def reachability_partition(graph: DiGraph) -> Partition:
+    """Partition of the nodes of *graph* into ``Re`` equivalence classes.
+
+    Runs in ``O(|V| + |E| + S^2/w)`` where ``S`` is the SCC count and ``w``
+    the machine word width (bitset unions dominate) — comfortably within the
+    paper's ``O(|V||E|)`` bound for ``compressR``.
+    """
+    cond = condensation(graph)
+    return partition_from_signatures(cond)
+
+
+def partition_from_signatures(cond: Condensation) -> Partition:
+    """Group SCC members into ``Re`` classes given a condensation."""
+    signatures = scc_signatures(cond)
+    groups: Dict[Tuple, List[Node]] = {}
+    for s, sig in signatures.items():
+        groups.setdefault(sig, []).extend(cond.members[s])
+    return Partition.from_blocks(groups.values())
+
+
+# ----------------------------------------------------------------------
+# Reference implementations (used by tests and small graphs only)
+# ----------------------------------------------------------------------
+def strict_ancestors(graph: DiGraph, v: Node) -> frozenset:
+    """``{x : x reaches v via a nonempty path}`` by reverse BFS."""
+    out = set()
+    for p in graph.predecessors(v):
+        out |= bfs_reachable(graph, p, reverse=True)
+    return frozenset(out)
+
+
+def strict_descendants(graph: DiGraph, v: Node) -> frozenset:
+    """``{x : v reaches x via a nonempty path}`` by forward BFS."""
+    out = set()
+    for c in graph.successors(v):
+        out |= bfs_reachable(graph, c)
+    return frozenset(out)
+
+
+def reachability_partition_naive(graph: DiGraph) -> Partition:
+    """Literal definition: group nodes by (ancestor set, descendant set).
+
+    Quadratic; exists to validate :func:`reachability_partition`.
+    """
+    groups: Dict[Tuple[frozenset, frozenset], List[Node]] = {}
+    for v in graph.nodes():
+        key = (strict_ancestors(graph, v), strict_descendants(graph, v))
+        groups.setdefault(key, []).append(v)
+    return Partition.from_blocks(groups.values())
+
+
+def are_reachability_equivalent(graph: DiGraph, u: Node, v: Node) -> bool:
+    """Direct pairwise test of the Section 3.1 definition (for tests)."""
+    return (
+        strict_ancestors(graph, u) == strict_ancestors(graph, v)
+        and strict_descendants(graph, u) == strict_descendants(graph, v)
+    )

@@ -1,0 +1,94 @@
+"""Pattern query generator (Section 6's "(3) Pattern generator").
+
+The paper's generator is controlled by ``(Vp, Ep, Lp, k)``: node count,
+edge count, label alphabet, and the bound ceiling.  Patterns here are
+connected (spanning tree plus extra edges), labels are drawn from the data
+graph's alphabet weighted by frequency — so patterns actually stand a chance
+of matching, like the paper's workloads — and bounds are uniform in
+``[1, k]`` with an optional probability of ``*``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.graph.digraph import DiGraph
+from repro.queries.pattern import STAR, GraphPattern
+
+
+def label_frequencies(graph: DiGraph) -> Dict[str, int]:
+    freq: Dict[str, int] = {}
+    for v in graph.nodes():
+        lab = graph.label(v)
+        freq[lab] = freq.get(lab, 0) + 1
+    return freq
+
+
+def random_pattern(
+    graph: DiGraph,
+    num_nodes: int,
+    num_edges: int,
+    max_bound: int = 3,
+    star_prob: float = 0.0,
+    seed: Optional[int] = None,
+) -> GraphPattern:
+    """One random connected pattern over *graph*'s label alphabet.
+
+    ``num_edges`` below ``num_nodes - 1`` is raised to keep the pattern
+    connected; above ``num_nodes * (num_nodes - 1)`` it is clamped.
+    """
+    rng = random.Random(seed)
+    freq = label_frequencies(graph)
+    labels = sorted(freq)
+    weights = [freq[l] for l in labels]
+
+    q = GraphPattern()
+    for i in range(num_nodes):
+        q.add_node(i, rng.choices(labels, weights=weights)[0])
+
+    def draw_bound():
+        if star_prob and rng.random() < star_prob:
+            return STAR
+        return rng.randrange(1, max_bound + 1)
+
+    # Spanning tree: node i attaches to a random earlier node.
+    for i in range(1, num_nodes):
+        parent = rng.randrange(i)
+        q.add_edge(parent, i, draw_bound())
+    extra = max(0, min(num_edges, num_nodes * (num_nodes - 1)) - (num_nodes - 1))
+    attempts = 0
+    while extra > 0 and attempts < 50 * extra + 50:
+        attempts += 1
+        u, v = rng.randrange(num_nodes), rng.randrange(num_nodes)
+        if u == v or (u, v) in q.edges:
+            continue
+        q.add_edge(u, v, draw_bound())
+        extra -= 1
+    return q
+
+
+def pattern_workload(
+    graph: DiGraph,
+    sizes: Sequence[tuple],
+    per_size: int = 3,
+    star_prob: float = 0.1,
+    seed: int = 0,
+) -> Dict[tuple, List[GraphPattern]]:
+    """A batch of patterns per ``(Vp, Ep, k)`` size triple.
+
+    Matches the paper's Exp-2 sweep, which varies ``(Vp, Ep, k)`` from
+    ``(3, 3, 3)`` to ``(8, 8, 3)``.
+    """
+    rng = random.Random(seed)
+    out: Dict[tuple, List[GraphPattern]] = {}
+    for size in sizes:
+        vp, ep, k = size
+        out[size] = [
+            random_pattern(
+                graph, vp, ep, max_bound=k, star_prob=star_prob,
+                seed=rng.randrange(1 << 30),
+            )
+            for _ in range(per_size)
+        ]
+    return out

@@ -1,0 +1,99 @@
+"""Update workload generators (ΔG) for the incremental experiments.
+
+Exp-3/Exp-4 of the paper vary ``Δ|E|`` on fixed node sets; for real-life
+growth they follow the power-law observation of [20]: "the edge growth rate
+was fixed to be 5%, and an edge was attached to the high degree nodes with
+80% probability".  These generators reproduce both styles, returning update
+lists without mutating the input graph.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, List, Optional, Tuple
+
+from repro.graph.digraph import DiGraph
+
+Node = Hashable
+EdgeUpdate = Tuple[str, Node, Node]
+
+
+def _degree_weighted_choice(
+    rng: random.Random, nodes: List[Node], graph: DiGraph, high_degree_prob: float
+) -> Node:
+    """With probability *high_degree_prob*, pick degree-proportionally."""
+    if rng.random() < high_degree_prob:
+        # Weighted by (deg+1) to keep isolated nodes reachable.
+        weights = [graph.out_degree(v) + graph.in_degree(v) + 1 for v in nodes]
+        return rng.choices(nodes, weights=weights)[0]
+    return rng.choice(nodes)
+
+
+def insertion_batch(
+    graph: DiGraph,
+    count: int,
+    seed: Optional[int] = None,
+    high_degree_prob: float = 0.8,
+) -> List[EdgeUpdate]:
+    """*count* edge insertions among existing nodes, power-law targeted."""
+    rng = random.Random(seed)
+    nodes = graph.node_list()
+    if len(nodes) < 2:
+        return []
+    existing = {e for e in graph.edges()}
+    batch: List[EdgeUpdate] = []
+    attempts = 0
+    while len(batch) < count and attempts < 50 * count + 100:
+        attempts += 1
+        # Both endpoints are drawn with the power-law bias: growth edges
+        # overwhelmingly connect already-active (high-degree) nodes [20],
+        # which is what keeps the fringe equivalence classes intact as the
+        # graphs of Fig. 12(j)/(l) grow.
+        u = _degree_weighted_choice(rng, nodes, graph, high_degree_prob)
+        v = _degree_weighted_choice(rng, nodes, graph, high_degree_prob)
+        if u == v or (u, v) in existing:
+            continue
+        existing.add((u, v))
+        batch.append(("+", u, v))
+    return batch
+
+
+def deletion_batch(
+    graph: DiGraph, count: int, seed: Optional[int] = None
+) -> List[EdgeUpdate]:
+    """*count* distinct random edge deletions."""
+    rng = random.Random(seed)
+    edges = graph.edge_list()
+    rng.shuffle(edges)
+    return [("-", u, v) for u, v in edges[:count]]
+
+
+def mixed_batch(
+    graph: DiGraph,
+    count: int,
+    insert_ratio: float = 0.5,
+    seed: Optional[int] = None,
+    high_degree_prob: float = 0.8,
+) -> List[EdgeUpdate]:
+    """A shuffled mix of insertions and deletions (the Exp-3 ΔG)."""
+    rng = random.Random(seed)
+    n_ins = int(count * insert_ratio)
+    n_del = count - n_ins
+    batch = insertion_batch(
+        graph, n_ins, seed=rng.randrange(1 << 30), high_degree_prob=high_degree_prob
+    ) + deletion_batch(graph, n_del, seed=rng.randrange(1 << 30))
+    rng.shuffle(batch)
+    return batch
+
+
+def apply_updates(graph: DiGraph, updates: List[EdgeUpdate]) -> DiGraph:
+    """Return ``G ⊕ ΔG`` as a fresh graph (the input is untouched)."""
+    out = graph.copy()
+    for op, u, v in updates:
+        if op == "+":
+            out.add_edge(u, v)
+        elif op == "-":
+            out.remove_edge(u, v)
+        else:
+            raise ValueError(f"unknown update op {op!r}")
+    return out

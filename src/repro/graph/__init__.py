@@ -1,0 +1,66 @@
+"""Graph substrate for the query preserving compression library.
+
+This subpackage provides everything the paper's algorithms assume as given:
+a labeled directed graph store (:mod:`repro.graph.digraph`), traversal
+primitives (:mod:`repro.graph.traversal`), strongly connected components and
+condensation (:mod:`repro.graph.scc`), transitive closure/reduction including
+the Aho–Garey–Ullman baseline (:mod:`repro.graph.transitive`), the two rank
+functions of Section 5 (:mod:`repro.graph.rank`), a partition-refinement data
+structure (:mod:`repro.graph.partition`), random graph generators
+(:mod:`repro.graph.generators`) and simple I/O (:mod:`repro.graph.io`).
+"""
+
+from repro.graph.digraph import DiGraph, NodeIndexer
+from repro.graph.scc import Condensation, condensation, strongly_connected_components
+from repro.graph.traversal import (
+    bfs_reachable,
+    bfs_distances,
+    bidirectional_reachable,
+    dfs_postorder,
+    dfs_preorder,
+    is_acyclic,
+    topological_order,
+)
+from repro.graph.transitive import (
+    aho_transitive_reduction,
+    dag_transitive_reduction,
+    descendant_bitsets,
+    transitive_closure_pairs,
+)
+from repro.graph.rank import bisimulation_ranks, topological_ranks, well_founded_nodes
+from repro.graph.partition import Partition
+from repro.graph.generators import (
+    attach_equivalent_leaves,
+    gnm_random_graph,
+    layered_dag,
+    preferential_attachment_graph,
+    random_dag,
+)
+
+__all__ = [
+    "DiGraph",
+    "NodeIndexer",
+    "Condensation",
+    "condensation",
+    "strongly_connected_components",
+    "bfs_reachable",
+    "bfs_distances",
+    "bidirectional_reachable",
+    "dfs_postorder",
+    "dfs_preorder",
+    "is_acyclic",
+    "topological_order",
+    "aho_transitive_reduction",
+    "dag_transitive_reduction",
+    "descendant_bitsets",
+    "transitive_closure_pairs",
+    "bisimulation_ranks",
+    "topological_ranks",
+    "well_founded_nodes",
+    "Partition",
+    "attach_equivalent_leaves",
+    "gnm_random_graph",
+    "layered_dag",
+    "preferential_attachment_graph",
+    "random_dag",
+]

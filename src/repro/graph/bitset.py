@@ -1,0 +1,56 @@
+"""Big-integer bitset helpers.
+
+The compression algorithms manipulate ancestor/descendant sets of every node
+simultaneously (Section 3 of the paper computes the reachability equivalence
+relation from exactly these sets).  Python's arbitrary-precision integers make
+a convenient and fast bitset: union is ``|``, intersection ``&``, membership
+``(mask >> i) & 1``.  This module collects the few non-operator helpers the
+rest of the library needs, so call sites stay readable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+#: Bit masks for single positions are built with ``1 << i``; this alias makes
+#: intent explicit at call sites that construct singletons.
+EMPTY: int = 0
+
+
+def bitset_of(indices: Iterable[int]) -> int:
+    """Return the bitset containing exactly *indices*.
+
+    >>> bitset_of([0, 2, 5])
+    37
+    """
+    mask = 0
+    for i in indices:
+        mask |= 1 << i
+    return mask
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the indices of set bits in ascending order.
+
+    >>> list(iter_bits(37))
+    [0, 2, 5]
+    """
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def popcount(mask: int) -> int:
+    """Return the number of set bits (Python 3.10+ has int.bit_count)."""
+    return mask.bit_count()
+
+
+def contains(mask: int, index: int) -> bool:
+    """Return True if bit *index* is set in *mask*."""
+    return (mask >> index) & 1 == 1
+
+
+def without(mask: int, index: int) -> int:
+    """Return *mask* with bit *index* cleared."""
+    return mask & ~(1 << index)

@@ -1,0 +1,88 @@
+"""Graph serialisation.
+
+Two formats:
+
+* an edge-list text format compatible with the SNAP files the paper uses
+  (``u<TAB>v`` per line, ``#`` comments) extended with optional
+  ``v<TAB>label`` node lines in a ``#!labels`` section;
+* a JSON format that round-trips labels exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.graph.digraph import DEFAULT_LABEL, DiGraph
+
+PathLike = Union[str, Path]
+
+
+def write_edge_list(graph: DiGraph, path: PathLike) -> None:
+    """Write ``graph`` in SNAP-style edge-list format with a label section."""
+    p = Path(path)
+    with p.open("w", encoding="utf-8") as fh:
+        fh.write(f"# nodes {graph.order()} edges {graph.size()}\n")
+        for u, v in graph.edges():
+            fh.write(f"{u}\t{v}\n")
+        fh.write("#!labels\n")
+        for v in graph.nodes():
+            fh.write(f"{v}\t{graph.label(v)}\n")
+
+
+def read_edge_list(path: PathLike) -> DiGraph:
+    """Read the format written by :func:`write_edge_list`.
+
+    Plain SNAP files (no label section) load fine; all labels default to the
+    dummy label.  Node ids are kept as strings unless they parse as ints.
+    """
+
+    def parse(token: str):
+        try:
+            return int(token)
+        except ValueError:
+            return token
+
+    g = DiGraph()
+    in_labels = False
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#!labels"):
+                in_labels = True
+                continue
+            if line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if in_labels:
+                g.set_label(parse(parts[0]), parts[1] if len(parts) > 1 else DEFAULT_LABEL)
+            else:
+                g.add_edge(parse(parts[0]), parse(parts[1]))
+    return g
+
+
+def write_json(graph: DiGraph, path: PathLike) -> None:
+    """Write ``graph`` as JSON with exact label round-tripping."""
+    payload = {
+        "nodes": [[repr(v), graph.label(v)] for v in graph.nodes()],
+        "edges": [[repr(u), repr(v)] for u, v in graph.edges()],
+    }
+    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+
+def read_json(path: PathLike) -> DiGraph:
+    """Read the format written by :func:`write_json`.
+
+    Node identity is the ``repr`` string — good enough for persistence of
+    generated graphs whose nodes are ints/strings/tuples of those.
+    """
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    g = DiGraph()
+    for v_repr, label in payload["nodes"]:
+        g.add_node(v_repr, label)
+    for u_repr, v_repr in payload["edges"]:
+        g.add_edge(u_repr, v_repr)
+    return g

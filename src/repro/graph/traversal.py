@@ -1,0 +1,200 @@
+"""Graph traversal primitives.
+
+These are the evaluation algorithms the paper runs *unchanged* on both the
+original and the compressed graphs (Section 6, Exp-2): breadth-first search,
+bidirectional BFS, depth-first search, plus topological ordering used by the
+compression functions themselves.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Set
+
+from repro.graph.digraph import DiGraph
+
+Node = Hashable
+
+
+def bfs_reachable(graph: DiGraph, source: Node, reverse: bool = False) -> Set[Node]:
+    """Set of nodes reachable from *source* (including *source* itself).
+
+    With ``reverse=True`` follows edges backwards, i.e. returns the ancestors
+    of *source* plus *source*.
+    """
+    neighbors: Callable[[Node], Set[Node]] = (
+        graph.predecessors if reverse else graph.successors
+    )
+    seen: Set[Node] = {source}
+    queue: deque = deque((source,))
+    while queue:
+        v = queue.popleft()
+        for w in neighbors(v):
+            if w not in seen:
+                seen.add(w)
+                queue.append(w)
+    return seen
+
+
+def bfs_distances(
+    graph: DiGraph, source: Node, max_depth: Optional[int] = None
+) -> Dict[Node, int]:
+    """Shortest-path hop distance from *source* to every reachable node.
+
+    ``max_depth`` bounds the search (used by bounded-simulation matching,
+    where pattern edges carry a hop bound ``k``).
+    """
+    dist: Dict[Node, int] = {source: 0}
+    queue: deque = deque((source,))
+    while queue:
+        v = queue.popleft()
+        d = dist[v]
+        if max_depth is not None and d >= max_depth:
+            continue
+        for w in graph.successors(v):
+            if w not in dist:
+                dist[w] = d + 1
+                queue.append(w)
+    return dist
+
+
+def bidirectional_reachable(graph: DiGraph, source: Node, target: Node) -> bool:
+    """Bidirectional BFS reachability test (the paper's BIBFS).
+
+    Expands the smaller frontier each round; terminates when the frontiers
+    intersect or one side is exhausted.  Equivalent to
+    ``target in bfs_reachable(graph, source)`` but usually much faster.
+    """
+    if source == target:
+        return True
+    fwd: Set[Node] = {source}
+    bwd: Set[Node] = {target}
+    fwd_frontier: Set[Node] = {source}
+    bwd_frontier: Set[Node] = {target}
+    while fwd_frontier and bwd_frontier:
+        # Expand the cheaper side (by frontier size) to balance the search.
+        if len(fwd_frontier) <= len(bwd_frontier):
+            nxt: Set[Node] = set()
+            for v in fwd_frontier:
+                for w in graph.successors(v):
+                    if w in bwd:
+                        return True
+                    if w not in fwd:
+                        fwd.add(w)
+                        nxt.add(w)
+            fwd_frontier = nxt
+        else:
+            nxt = set()
+            for v in bwd_frontier:
+                for w in graph.predecessors(v):
+                    if w in fwd:
+                        return True
+                    if w not in bwd:
+                        bwd.add(w)
+                        nxt.add(w)
+            bwd_frontier = nxt
+    return False
+
+
+def dfs_preorder(graph: DiGraph, source: Node) -> List[Node]:
+    """Iterative DFS preorder from *source*."""
+    seen: Set[Node] = {source}
+    order: List[Node] = []
+    stack: List[Node] = [source]
+    while stack:
+        v = stack.pop()
+        order.append(v)
+        # Sort for determinism when nodes are comparable; fall back otherwise.
+        succ = graph.successors(v)
+        try:
+            children = sorted(succ, reverse=True)
+        except TypeError:
+            children = list(succ)
+        for w in children:
+            if w not in seen:
+                seen.add(w)
+                stack.append(w)
+    return order
+
+
+def dfs_postorder(graph: DiGraph, roots: Optional[Iterable[Node]] = None) -> List[Node]:
+    """Iterative DFS postorder over the whole graph (or the given roots)."""
+    seen: Set[Node] = set()
+    order: List[Node] = []
+    start_nodes = list(roots) if roots is not None else graph.node_list()
+    for root in start_nodes:
+        if root in seen:
+            continue
+        seen.add(root)
+        # Stack entries: (node, iterator over its successors).
+        stack = [(root, iter(list(graph.successors(root))))]
+        while stack:
+            v, it = stack[-1]
+            advanced = False
+            for w in it:
+                if w not in seen:
+                    seen.add(w)
+                    stack.append((w, iter(list(graph.successors(w)))))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(v)
+                stack.pop()
+    return order
+
+
+def topological_order(graph: DiGraph) -> List[Node]:
+    """Kahn topological sort; raises ValueError if the graph has a cycle.
+
+    The compression pipeline only ever calls this on condensation DAGs.
+    """
+    indeg: Dict[Node, int] = {v: graph.in_degree(v) for v in graph.nodes()}
+    queue: deque = deque(v for v, d in indeg.items() if d == 0)
+    order: List[Node] = []
+    while queue:
+        v = queue.popleft()
+        order.append(v)
+        for w in graph.successors(v):
+            indeg[w] -= 1
+            if indeg[w] == 0:
+                queue.append(w)
+    if len(order) != graph.order():
+        raise ValueError("graph has a cycle; topological order undefined")
+    return order
+
+
+def is_acyclic(graph: DiGraph) -> bool:
+    """True iff the graph is a DAG (no self-loops, no longer cycles)."""
+    try:
+        topological_order(graph)
+    except ValueError:
+        return False
+    return True
+
+
+def path_exists(graph: DiGraph, source: Node, target: Node) -> bool:
+    """Plain BFS reachability test (the paper's BFS evaluator)."""
+    if source == target:
+        return True
+    seen: Set[Node] = {source}
+    queue: deque = deque((source,))
+    while queue:
+        v = queue.popleft()
+        for w in graph.successors(v):
+            if w == target:
+                return True
+            if w not in seen:
+                seen.add(w)
+                queue.append(w)
+    return False
+
+
+def nonempty_path_exists(graph: DiGraph, source: Node, target: Node) -> bool:
+    """True iff a path of length >= 1 connects source to target.
+
+    Differs from :func:`path_exists` only when ``source == target``: a node
+    reaches itself via a nonempty path exactly when it lies on a cycle.
+    """
+    if source != target:
+        return path_exists(graph, source, target)
+    return any(path_exists(graph, w, source) for w in graph.successors(source))

@@ -1,0 +1,16 @@
+"""Index structures used in the paper's evaluation and related-work analysis.
+
+* :mod:`repro.index.twohop` — 2-hop reachability labeling [6]; Exp-2
+  (Fig. 12(d)) compares its memory cost on ``G`` vs on ``Gr``;
+* :mod:`repro.index.kindex` — 1-index / A(k)-index graphs [15, 19, 26];
+  Sections 3 and 4 show they do *not* preserve reachability / pattern
+  queries, and the tests reproduce the paper's counterexamples;
+* :mod:`repro.index.interval` — GRAIL-style interval labeling [34], a
+  negative-filter index included for the indexing-cost comparisons.
+"""
+
+from repro.index.twohop import TwoHopIndex
+from repro.index.kindex import KIndex, k_bisimulation_partition
+from repro.index.interval import IntervalIndex
+
+__all__ = ["TwoHopIndex", "KIndex", "k_bisimulation_partition", "IntervalIndex"]

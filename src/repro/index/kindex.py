@@ -1,0 +1,97 @@
+"""1-index and A(k)-index graphs [15, 19, 26] — the non-preserving baselines.
+
+The paper contrasts its compressions with bisimulation-based *index graphs*:
+
+* the 1-index [19] merges bisimilar nodes — Section 3 (Fig. 4) shows the
+  result does **not** preserve reachability queries: in ``G2``, C2 reaches
+  E2 but C1 does not, yet the index merges C1 and C2;
+* the A(k)-index [15] merges ``k``-bisimilar nodes — Section 4 (Fig. 6)
+  shows it does not preserve pattern queries: A1, A2, A3 are 1-bisimilar
+  (all have exactly B children) but not bisimilar, so a 2-edge pattern gets
+  spurious matches on the index graph.
+
+``k``-bisimilarity here is the forward version matching the paper's usage:
+``~_0`` is label equality, and ``u ~_{i+1} v`` iff ``u ~_i v`` and their
+successor sets cover each other up to ``~_i``.  :func:`k_bisimulation_partition`
+computes ``~_k`` by ``k`` rounds of signature refinement; the limit (``k →
+∞``) is the maximum bisimulation, which tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+from repro.core.pattern import PatternCompression, quotient_by_partition
+from repro.graph.digraph import DiGraph
+from repro.graph.partition import Partition
+
+Node = Hashable
+
+
+def k_bisimulation_partition(
+    graph: DiGraph, k: int, direction: str = "backward"
+) -> Partition:
+    """The ``~_k`` partition: label partition refined ``k`` times.
+
+    ``direction="backward"`` (default) refines by *predecessor* blocks —
+    the incoming-path bisimilarity the XML indexes [15, 19, 26] actually
+    use, and the form the paper's counterexamples (Figs. 4 and 6) rely on.
+    ``direction="forward"`` refines by successor blocks; its fixpoint is the
+    maximum (forward) bisimulation of Section 4.
+    """
+    if k < 0:
+        raise ValueError("k must be nonnegative")
+    if direction == "backward":
+        neighbors = graph.predecessors
+    elif direction == "forward":
+        neighbors = graph.successors
+    else:
+        raise ValueError("direction must be 'forward' or 'backward'")
+    partition = Partition.by_key(graph.node_list(), key=graph.label)
+    for _ in range(k):
+        changed = partition.refine_by(
+            lambda v: frozenset(partition.block_of(c) for c in neighbors(v))
+        )
+        if not changed:
+            break  # reached the fixpoint (= full bisimulation) early
+    return partition
+
+
+class KIndex:
+    """An A(k)-index graph (the 1-index is ``k = None``, i.e. full bisimulation).
+
+    Wraps the quotient construction shared with ``compressB`` so the
+    counterexample tests can run the *same* query algorithms on the index
+    graph and watch them produce wrong answers — exactly the paper's
+    argument for why these indexes are not query preserving compressions.
+    """
+
+    def __init__(
+        self, graph: DiGraph, k: Optional[int] = None, direction: str = "backward"
+    ) -> None:
+        if k is None:
+            # The 1-index [19]: full (backward) bisimulation.
+            partition = k_bisimulation_partition(graph, graph.order(), direction)
+        else:
+            partition = k_bisimulation_partition(graph, k, direction)
+        self.k = k
+        self._quotient: PatternCompression = quotient_by_partition(graph, partition)
+
+    @property
+    def index_graph(self) -> DiGraph:
+        return self._quotient.compressed
+
+    def node_class(self, v: Node) -> int:
+        return self._quotient.node_class(v)
+
+    def members(self, hypernode: int) -> List[Node]:
+        return self._quotient.members(hypernode)
+
+    def expand(self, hypernodes) -> List[Node]:
+        out: List[Node] = []
+        for h in hypernodes:
+            out.extend(self._quotient.members(h))
+        return out
+
+    def graph_size(self) -> int:
+        return self.index_graph.graph_size()

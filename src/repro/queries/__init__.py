@@ -1,0 +1,33 @@
+"""Query classes and evaluation algorithms (Section 2.1 of the paper).
+
+* :mod:`repro.queries.reachability` — reachability queries ``QR(v, w)`` and
+  the BFS / bidirectional-BFS / DFS evaluators of Exp-2;
+* :mod:`repro.queries.pattern` — graph pattern queries ``Qp`` with bounded
+  edges (``k`` or ``*``), Section 2.1;
+* :mod:`repro.queries.matching` — the ``Match`` algorithm for bounded
+  simulation [9];
+* :mod:`repro.queries.simulation` — plain graph simulation [12], the
+  all-bounds-1 special case;
+* :mod:`repro.queries.incremental_match` — ``IncBMatch`` incremental
+  maintenance of match results under edge updates [9].
+"""
+
+from repro.queries.reachability import ReachabilityQuery, evaluate_reachability
+from repro.queries.pattern import STAR, GraphPattern
+from repro.queries.matching import MatchContext, boolean_match, match, match_naive
+from repro.queries.simulation import simulation, simulation_naive
+from repro.queries.incremental_match import IncrementalMatcher
+
+__all__ = [
+    "ReachabilityQuery",
+    "evaluate_reachability",
+    "STAR",
+    "GraphPattern",
+    "MatchContext",
+    "boolean_match",
+    "match",
+    "match_naive",
+    "simulation",
+    "simulation_naive",
+    "IncrementalMatcher",
+]

@@ -1,0 +1,297 @@
+"""``Match`` — graph pattern matching via bounded simulation [9].
+
+A data graph ``G`` matches a pattern ``Qp`` iff there is a binary relation
+``S ⊆ Vp × V`` such that every pattern node has a match, matched data nodes
+carry the required label, and every pattern edge ``(u, u')`` with bound
+``b`` is matched from every ``(u, v) ∈ S`` by a nonempty path of length
+``<= b`` (any length for ``*``) to some ``v'`` with ``(u', v') ∈ S``.
+Lemma 1 [9]: when a match exists, a unique *maximum* match ``SM`` exists;
+the answer to ``Qp`` is ``SM``, or the empty relation otherwise.
+
+Algorithm: greatest-fixpoint candidate refinement over per-bound
+reachability bitsets.
+
+* ``cand(u)`` starts as all data nodes with label ``fv(u)``;
+* for every pattern edge ``(u, u')`` with bound ``b``, remove ``v`` from
+  ``cand(u)`` if no node of ``cand(u')`` lies within ``b`` nonempty hops of
+  ``v`` (one AND of ``v``'s bound-``b`` reachability bitset with
+  ``cand(u')``);
+* iterate until stable; if any candidate set empties, there is no match.
+
+The per-bound reachability bitsets — ``reach_b(v)`` = nodes reachable from
+``v`` via nonempty paths of length ``<= b`` — are the expensive part; they
+depend only on the data graph, so :class:`MatchContext` caches them across
+the many patterns of one benchmark run.  Correctness is cross-validated
+against :func:`match_naive`, a direct depth-bounded-BFS implementation of
+the definition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Set
+
+from repro.graph.digraph import DiGraph, NodeIndexer
+from repro.graph.scc import condensation
+from repro.graph.traversal import bfs_distances, topological_order
+from repro.queries.pattern import STAR, Bound, GraphPattern
+
+Node = Hashable
+
+MatchResult = Dict[Node, Set[Node]]
+
+
+class MatchContext:
+    """Per-graph cache of candidate and reachability bitsets.
+
+    Build one per data graph and pass it to repeated :func:`match` calls;
+    the benchmarks rely on this to evaluate hundreds of patterns without
+    recomputing closures.
+    """
+
+    def __init__(self, graph: DiGraph) -> None:
+        self.graph = graph
+        self.indexer = NodeIndexer(graph.node_list())
+        self._adjacency: Optional[Dict[Node, int]] = None
+        self._bounded: Dict[int, Dict[Node, int]] = {}
+        self._star: Optional[Dict[Node, int]] = None
+        self._label_bits: Dict[str, int] = {}
+
+    # -- candidates ------------------------------------------------------
+    def label_candidates(self, label: str) -> int:
+        """Bitset of data nodes carrying *label*."""
+        cached = self._label_bits.get(label)
+        if cached is None:
+            cached = self.indexer.bitset(self.graph.nodes_with_label(label))
+            self._label_bits[label] = cached
+        return cached
+
+    # -- reachability ------------------------------------------------------
+    def adjacency_bitsets(self) -> Dict[Node, int]:
+        """``reach_1``: successor bitsets."""
+        if self._adjacency is None:
+            self._adjacency = {
+                v: self.indexer.bitset(self.graph.successors(v))
+                for v in self.graph.nodes()
+            }
+        return self._adjacency
+
+    def bounded_reach(self, bound: int) -> Dict[Node, int]:
+        """``reach_bound``: nodes within 1..bound hops, as bitsets.
+
+        ``reach_k(v) = reach_1(v) ∪ ⋃_{c ∈ succ(v)} reach_{k-1}(c)``,
+        computed by ``bound - 1`` rounds of adjacency composition.
+        """
+        if bound in self._bounded:
+            return self._bounded[bound]
+        adj = self.adjacency_bitsets()
+        if bound == 1:
+            self._bounded[1] = adj
+            return adj
+        prev = self.bounded_reach(bound - 1)
+        current: Dict[Node, int] = {}
+        for v in self.graph.nodes():
+            mask = adj[v]
+            for c in self.graph.successors(v):
+                mask |= prev[c]
+            current[v] = mask
+        self._bounded[bound] = current
+        return current
+
+    def star_reach(self) -> Dict[Node, int]:
+        """``reach_*``: strict descendants (nonempty paths), via condensation."""
+        if self._star is not None:
+            return self._star
+        cond = condensation(self.graph)
+        full: Dict[int, int] = {
+            s: self.indexer.bitset(members) for s, members in cond.members.items()
+        }
+        below: Dict[int, int] = {}
+        for s in reversed(topological_order(cond.dag)):
+            mask = 0
+            for c in cond.dag.successors(s):
+                mask |= full[c] | below[c]
+            below[s] = mask
+        star: Dict[Node, int] = {}
+        for s, members in cond.members.items():
+            mask = below[s]
+            if s in cond.cyclic:
+                mask |= full[s]
+            for v in members:
+                star[v] = mask
+        self._star = star
+        return star
+
+    def reach(self, bound: Bound) -> Dict[Node, int]:
+        return self.star_reach() if bound == STAR else self.bounded_reach(bound)
+
+    def invalidate(self) -> None:
+        """Drop caches after the underlying graph changed."""
+        self.indexer = NodeIndexer(self.graph.node_list())
+        self._adjacency = None
+        self._bounded.clear()
+        self._star = None
+        self._label_bits.clear()
+
+
+def match(
+    pattern: GraphPattern,
+    graph: DiGraph,
+    context: Optional[MatchContext] = None,
+) -> MatchResult:
+    """The maximum match of *pattern* in *graph* (empty dict if none).
+
+    Runs the greatest-fixpoint refinement described in the module docstring.
+    The same function evaluates patterns on original and compressed graphs —
+    exactly the "any algorithm runs on Gr as is" property the paper claims.
+    """
+    if pattern.order() == 0:
+        return {}
+    ctx = context if context is not None else MatchContext(graph)
+    if ctx.graph is not graph:
+        raise ValueError("context was built for a different graph")
+
+    cand: Dict[Node, int] = {}
+    for u in pattern.nodes:
+        bits = ctx.label_candidates(pattern.label(u))
+        if not bits:
+            return {}
+        cand[u] = bits
+
+    edges = list(pattern.edges.items())
+    changed = True
+    while changed:
+        changed = False
+        for (u, u_child), bound in edges:
+            reach = ctx.reach(bound)
+            target = cand[u_child]
+            survivors = 0
+            mask = cand[u]
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                v = ctx.indexer.node(low.bit_length() - 1)
+                if reach[v] & target:
+                    survivors |= low
+            if survivors != cand[u]:
+                if not survivors:
+                    return {}
+                cand[u] = survivors
+                changed = True
+
+    return {u: set(ctx.indexer.unpack(bits)) for u, bits in cand.items()}
+
+
+def boolean_match(
+    pattern: GraphPattern,
+    graph: DiGraph,
+    context: Optional[MatchContext] = None,
+) -> bool:
+    """Boolean pattern query: ``Qp ⊴ G``?"""
+    return bool(match(pattern, graph, context))
+
+
+def match_naive(pattern: GraphPattern, graph: DiGraph) -> MatchResult:
+    """Reference implementation straight from the Section 2.1 definition.
+
+    Candidate sets as Python sets; the bounded-path check is a depth-limited
+    BFS per (data node, pattern edge) evaluation.  Quadratic and slow —
+    tests only.
+    """
+    if pattern.order() == 0:
+        return {}
+
+    def reach_set(v: Node, bound: Bound) -> Set[Node]:
+        if bound == STAR:
+            out: Set[Node] = set()
+            for c in graph.successors(v):
+                out |= set(bfs_distances(graph, c))
+            return out
+        return bounded_reach_set(graph, v, bound)
+
+    cand: Dict[Node, Set[Node]] = {}
+    for u in pattern.nodes:
+        cand[u] = set(graph.nodes_with_label(pattern.label(u)))
+        if not cand[u]:
+            return {}
+
+    changed = True
+    while changed:
+        changed = False
+        for (u, u_child), bound in pattern.edges.items():
+            keep = {
+                v for v in cand[u] if reach_set(v, bound) & cand[u_child]
+            }
+            if keep != cand[u]:
+                if not keep:
+                    return {}
+                cand[u] = keep
+                changed = True
+    return cand
+
+
+def bounded_reach_set(graph: DiGraph, v: Node, bound: int) -> Set[Node]:
+    """Nodes reachable from *v* via nonempty paths of length <= *bound*.
+
+    A plain BFS from *v* would mark *v* itself at distance 0 and never
+    revisit it, silently missing cycle paths back to the start (e.g.
+    ``v -> w -> v`` of length 2); a multi-source BFS from the successors
+    with ``bound - 1`` remaining hops handles that correctly.
+    """
+    seen: Set[Node] = set(graph.successors(v))
+    frontier = set(seen)
+    for _ in range(bound - 1):
+        if not frontier:
+            break
+        nxt: Set[Node] = set()
+        for x in frontier:
+            for y in graph.successors(x):
+                if y not in seen:
+                    seen.add(y)
+                    nxt.add(y)
+        frontier = nxt
+    return seen
+
+
+def match_relation(result: MatchResult) -> Set[tuple]:
+    """Flatten a match result into the relation ``S = {(u, v)}`` of [9]."""
+    return {(u, v) for u, vs in result.items() for v in vs}
+
+
+def verify_match(
+    pattern: GraphPattern, graph: DiGraph, result: MatchResult
+) -> bool:
+    """Check that *result* is a valid match relation (test helper).
+
+    Verifies the three conditions of the Section 2.1 definition; does not
+    check maximality.
+    """
+    if not result:
+        return True
+    if set(result) != set(pattern.nodes):
+        return False
+
+    def has_bounded_path(v: Node, bound: Bound, targets: Set[Node]) -> bool:
+        if bound == STAR:
+            seen: Set[Node] = set()
+            stack: List[Node] = list(graph.successors(v))
+            while stack:
+                w = stack.pop()
+                if w in targets:
+                    return True
+                if w not in seen:
+                    seen.add(w)
+                    stack.extend(graph.successors(w))
+            return False
+        return bool(bounded_reach_set(graph, v, bound) & targets)
+
+    for u, matched in result.items():
+        if not matched:
+            return False
+        for v in matched:
+            if graph.label(v) != pattern.label(u):
+                return False
+            for u_child in pattern.successors(u):
+                bound = pattern.bound(u, u_child)
+                if not has_bounded_path(v, bound, result[u_child]):
+                    return False
+    return True

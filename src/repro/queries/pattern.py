@@ -1,0 +1,112 @@
+"""Graph pattern queries ``Qp = (Vp, Ep, fv, fe)`` (Section 2.1).
+
+A pattern is a directed graph whose nodes carry a required label (``fv``)
+and whose edges carry a *bound* (``fe``): a positive integer ``k`` — the
+matching data path must be nonempty and of length at most ``k`` — or ``*``
+(:data:`STAR`) for unbounded nonempty paths.  Matching semantics (bounded
+simulation [9]) live in :mod:`repro.queries.matching`.
+
+Patterns via plain graph simulation [12] are the special case where every
+edge bound is 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Tuple, Union
+
+Node = Hashable
+
+#: The unbounded edge marker of the paper's ``fe``.
+STAR = "*"
+
+Bound = Union[int, str]
+
+
+def _check_bound(bound: Bound) -> Bound:
+    if bound == STAR:
+        return STAR
+    if isinstance(bound, int) and bound >= 1:
+        return bound
+    raise ValueError(f"edge bound must be a positive int or {STAR!r}, got {bound!r}")
+
+
+@dataclass
+class GraphPattern:
+    """A graph pattern query.
+
+    >>> q = GraphPattern()
+    >>> q.add_node("BSA", "BSA"); q.add_node("C", "C"); q.add_node("FA", "FA")
+    >>> q.add_edge("BSA", "C", 2)   # C within 2 hops of BSA (Example 1)
+    >>> q.add_edge("C", "FA", 1)
+    >>> q.add_edge("FA", "C", 1)
+    >>> sorted(q.nodes)
+    ['BSA', 'C', 'FA']
+    """
+
+    #: pattern node -> required data-node label (the paper's ``fv``).
+    nodes: Dict[Node, str] = field(default_factory=dict)
+    #: pattern edge -> bound (the paper's ``fe``).
+    edges: Dict[Tuple[Node, Node], Bound] = field(default_factory=dict)
+
+    def add_node(self, u: Node, label: str) -> None:
+        self.nodes[u] = label
+
+    def add_edge(self, u: Node, v: Node, bound: Bound = 1) -> None:
+        """Add edge ``(u, v)``; endpoints must have been declared first."""
+        if u not in self.nodes or v not in self.nodes:
+            raise ValueError("add pattern nodes (with labels) before edges")
+        self.edges[(u, v)] = _check_bound(bound)
+
+    @classmethod
+    def from_parts(
+        cls,
+        nodes: Dict[Node, str],
+        edges: Iterable[Tuple[Node, Node, Bound]],
+    ) -> "GraphPattern":
+        q = cls()
+        for u, label in nodes.items():
+            q.add_node(u, label)
+        for u, v, bound in edges:
+            q.add_edge(u, v, bound)
+        return q
+
+    # ------------------------------------------------------------------
+    def label(self, u: Node) -> str:
+        return self.nodes[u]
+
+    def bound(self, u: Node, v: Node) -> Bound:
+        return self.edges[(u, v)]
+
+    def successors(self, u: Node) -> List[Node]:
+        return [v for (a, v) in self.edges if a == u]
+
+    def predecessors(self, v: Node) -> List[Node]:
+        return [u for (u, b) in self.edges if b == v]
+
+    def order(self) -> int:
+        return len(self.nodes)
+
+    def size(self) -> int:
+        return len(self.edges)
+
+    @property
+    def is_simulation_pattern(self) -> bool:
+        """True iff every bound is 1 — plain graph simulation [12]."""
+        return all(b == 1 for b in self.edges.values())
+
+    def bounds_used(self) -> List[Bound]:
+        """Distinct bounds, ints ascending then ``*`` (evaluation planning)."""
+        ints = sorted({b for b in self.edges.values() if b != STAR})
+        stars = [STAR] if any(b == STAR for b in self.edges.values()) else []
+        return list(ints) + stars
+
+    def with_all_bounds(self, bound: Bound) -> "GraphPattern":
+        """Copy of this pattern with every edge bound replaced."""
+        return GraphPattern(
+            nodes=dict(self.nodes),
+            edges={e: _check_bound(bound) for e in self.edges},
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GraphPattern(|Vp|={self.order()}, |Ep|={self.size()})"

@@ -1,0 +1,97 @@
+"""Plain graph simulation [12] — the all-bounds-1 pattern queries.
+
+The paper's second special case of pattern queries (Section 2.1): every
+pattern edge must be matched by a single data edge.  This module gives a
+dedicated evaluator in the style of Henzinger–Henzinger–Kopke, plus a naive
+reference.  ``simulation(p, g)`` always agrees with
+``match(p.with_all_bounds(1), g)``; tests enforce this.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Set
+
+from repro.graph.digraph import DiGraph, NodeIndexer
+from repro.queries.matching import MatchContext, MatchResult
+from repro.queries.pattern import GraphPattern
+
+Node = Hashable
+
+
+def simulation(
+    pattern: GraphPattern,
+    graph: DiGraph,
+    context: Optional[MatchContext] = None,
+) -> MatchResult:
+    """Maximum simulation of *pattern* in *graph* (empty dict if none).
+
+    Worklist refinement: when ``cand(u')`` shrinks, only the pattern edges
+    entering ``u'`` are re-examined — the HHK scheduling idea, with bitsets
+    doing the per-node successor checks.
+    """
+    if pattern.order() == 0:
+        return {}
+    ctx = context if context is not None else MatchContext(graph)
+    if ctx.graph is not graph:
+        raise ValueError("context was built for a different graph")
+    adjacency = ctx.adjacency_bitsets()
+    indexer = ctx.indexer
+
+    cand: Dict[Node, int] = {}
+    for u in pattern.nodes:
+        bits = ctx.label_candidates(pattern.label(u))
+        if not bits:
+            return {}
+        cand[u] = bits
+
+    # Pattern edges indexed by their target, for worklist scheduling.
+    edges_into: Dict[Node, list] = {u: [] for u in pattern.nodes}
+    for (u, u_child) in pattern.edges:
+        edges_into[u_child].append(u)
+
+    worklist = set(pattern.nodes)
+    while worklist:
+        u_child = worklist.pop()
+        target = cand[u_child]
+        for u in edges_into[u_child]:
+            survivors = 0
+            mask = cand[u]
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                v = indexer.node(low.bit_length() - 1)
+                if adjacency[v] & target:
+                    survivors |= low
+            if survivors != cand[u]:
+                if not survivors:
+                    return {}
+                cand[u] = survivors
+                worklist.add(u)
+
+    return {u: set(indexer.unpack(bits)) for u, bits in cand.items()}
+
+
+def simulation_naive(pattern: GraphPattern, graph: DiGraph) -> MatchResult:
+    """Reference implementation with Python sets and a global fixpoint."""
+    if pattern.order() == 0:
+        return {}
+    cand: Dict[Node, Set[Node]] = {}
+    for u in pattern.nodes:
+        cand[u] = set(graph.nodes_with_label(pattern.label(u)))
+        if not cand[u]:
+            return {}
+    changed = True
+    while changed:
+        changed = False
+        for (u, u_child) in pattern.edges:
+            keep = {
+                v
+                for v in cand[u]
+                if any(c in cand[u_child] for c in graph.successors(v))
+            }
+            if keep != cand[u]:
+                if not keep:
+                    return {}
+                cand[u] = keep
+                changed = True
+    return cand

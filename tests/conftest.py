@@ -1,0 +1,97 @@
+"""Shared fixtures: the paper's worked example graphs.
+
+``recommendation_network`` encodes Figure 2 / Examples 1, 4 and 5 (the
+multi-agent recommendation network); ``fig6_g1`` encodes Figure 6's ``G1``
+(the A(k)-index counterexample); ``fig4_g2`` the 1-index reachability
+counterexample.  Exact topologies follow the constraints stated in the
+paper's prose; see each fixture's docstring.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.queries.pattern import GraphPattern
+
+
+@pytest.fixture
+def recommendation_network() -> DiGraph:
+    """Figure 2's network, sized ``k = 5`` customers.
+
+    Constraints encoded from the text: BSA1/BSA2 are bisimilar (both
+    recommend an MSA and an FA whose interaction partners are equivalent
+    customers); FA1/FA2 interact in 2-cycles with customers C1/C2; FA3/FA4
+    are bisimilar but *not* reachability equivalent (FA3 reaches C3, FA4
+    does not); all of C3..C5 are bisimilar sinks; FA2 and FA3 are not
+    bisimilar (C2 is on a cycle, C3 is a sink — Example 4).
+    """
+    g = DiGraph()
+    labels = {
+        "BSA1": "BSA", "BSA2": "BSA",
+        "MSA1": "MSA", "MSA2": "MSA",
+        "FA1": "FA", "FA2": "FA", "FA3": "FA", "FA4": "FA",
+        "C1": "C", "C2": "C", "C3": "C", "C4": "C", "C5": "C",
+    }
+    for node, label in labels.items():
+        g.add_node(node, label)
+    for u, v in [
+        ("BSA1", "MSA1"), ("BSA1", "FA1"),
+        ("BSA2", "MSA2"), ("BSA2", "FA2"),
+        ("FA1", "C1"), ("C1", "FA1"),
+        ("FA2", "C2"), ("C2", "FA2"),
+        ("FA3", "C3"), ("FA3", "C4"), ("FA4", "C5"),
+    ]:
+        g.add_edge(u, v)
+    return g
+
+
+@pytest.fixture
+def pattern_qp() -> GraphPattern:
+    """Example 1's pattern: BSA ⇒(≤2) C, C ⇒ FA, FA ⇒ C."""
+    q = GraphPattern()
+    q.add_node("BSA", "BSA")
+    q.add_node("C", "C")
+    q.add_node("FA", "FA")
+    q.add_edge("BSA", "C", 2)
+    q.add_edge("C", "FA", 1)
+    q.add_edge("FA", "C", 1)
+    return q
+
+
+@pytest.fixture
+def fig6_g1() -> DiGraph:
+    """Figure 6's ``G1``: A1/A2/A3 are 1-bisimilar but not bisimilar.
+
+    Only B1 and B5 have both a C child and a D child; the A(1)-index merges
+    all B nodes (they share A parents), so the pattern {(B,C),(B,D)} gets
+    spurious matches on the index graph.
+    """
+    g = DiGraph()
+    for node, label in {
+        "A1": "A", "A2": "A", "A3": "A",
+        "B1": "B", "B2": "B", "B3": "B", "B4": "B", "B5": "B",
+        "C1": "C", "C2": "C", "C5": "C",
+        "D1": "D", "D3": "D", "D5": "D",
+    }.items():
+        g.add_node(node, label)
+    for u, v in [
+        ("A1", "B1"), ("B1", "C1"), ("B1", "D1"),
+        ("A2", "B2"), ("A2", "B3"), ("B2", "C2"), ("B3", "D3"),
+        ("A3", "B4"), ("A3", "B5"), ("B5", "C5"), ("B5", "D5"),
+    ]:
+        g.add_edge(u, v)
+    return g
+
+
+@pytest.fixture
+def fig4_g2() -> DiGraph:
+    """Figure 4's ``G2``: the 1-index merges C1/C2 yet C2 ⇝ E2, C1 ⇝̸ E2."""
+    g = DiGraph()
+    for node, label in {
+        "R": "R", "C1": "C", "C2": "C", "E1": "E", "E2": "E",
+    }.items():
+        g.add_node(node, label)
+    for u, v in [("R", "C1"), ("R", "C2"), ("C1", "E1"), ("C2", "E2")]:
+        g.add_edge(u, v)
+    return g

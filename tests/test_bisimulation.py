@@ -1,0 +1,108 @@
+"""Tests for maximum bisimulation (Section 4.1) and its algorithms."""
+
+import random
+
+from repro.core.bisimulation import (
+    are_bisimilar,
+    bisimulation_partition,
+    bisimulation_partition_naive,
+    is_bisimulation,
+    is_stable,
+    partition_relation,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import gnm_random_graph
+
+
+def test_stratified_matches_naive_randomized():
+    rng = random.Random(0)
+    for trial in range(20):
+        n = rng.randrange(3, 30)
+        m = rng.randrange(0, min(120, n * (n - 1)))
+        g = gnm_random_graph(n, m, num_labels=rng.choice([1, 2, 4]), seed=trial)
+        assert (
+            bisimulation_partition(g).as_frozen()
+            == bisimulation_partition_naive(g).as_frozen()
+        )
+
+
+def test_result_is_a_bisimulation_and_stable():
+    rng = random.Random(1)
+    for trial in range(10):
+        g = gnm_random_graph(15, rng.randrange(5, 60), num_labels=3, seed=trial + 5)
+        part = bisimulation_partition(g)
+        assert is_stable(g, part)
+        assert is_bisimulation(g, partition_relation(part))
+
+
+def test_labels_split_blocks():
+    g = DiGraph.from_edges([(1, 3), (2, 3)])
+    g.set_label(1, "A")
+    g.set_label(2, "B")
+    part = bisimulation_partition(g)
+    assert not part.same_block(1, 2)
+
+
+def test_sinks_with_same_label_merge():
+    g = DiGraph.from_edges([(1, 2), (1, 3)])
+    part = bisimulation_partition(g)
+    assert part.same_block(2, 3)
+
+
+def test_cycle_vs_sink_not_bisimilar():
+    # Example 4's FA2/FA3 distinction: a node on a cycle is not bisimilar
+    # to a node whose children are sinks.
+    g = DiGraph.from_edges([(1, 2), (2, 1), (3, 4)])
+    part = bisimulation_partition(g)
+    assert not part.same_block(1, 3)
+
+
+def test_self_loop_bisimilar_to_two_cycle():
+    # Unfoldings are identical: an infinite path of the same label.
+    g = DiGraph.from_edges([("a", "a"), ("b", "c"), ("c", "b")])
+    part = bisimulation_partition(g)
+    assert part.same_block("a", "b") and part.same_block("b", "c")
+
+
+def test_paper_fig6_g1_classes(fig6_g1):
+    g = fig6_g1
+    part = bisimulation_partition(g)
+    # B1 and B5 (both C and D children) are bisimilar; others are not.
+    assert part.same_block("B1", "B5")
+    for other in ("B2", "B3", "B4"):
+        assert not part.same_block("B1", other)
+    # A1, A2, A3 pairwise non-bisimilar (the Fig. 6 statement).
+    assert not part.same_block("A1", "A2")
+    assert not part.same_block("A1", "A3")
+    assert not part.same_block("A2", "A3")
+
+
+def test_recommendation_network_classes(recommendation_network):
+    g = recommendation_network
+    part = bisimulation_partition(g)
+    # Example 1/4: the intended equivalences.
+    assert part.same_block("BSA1", "BSA2")
+    assert part.same_block("MSA1", "MSA2")
+    assert part.same_block("FA1", "FA2")
+    assert part.same_block("C1", "C2")
+    assert part.same_block("C3", "C4") and part.same_block("C4", "C5")
+    assert part.same_block("FA3", "FA4")
+    # Example 4: FA2 and FA3 are not bisimilar.
+    assert not part.same_block("FA2", "FA3")
+    assert not part.same_block("C1", "C3")
+
+
+def test_are_bisimilar_helper():
+    g = DiGraph.from_edges([(1, 2), (3, 4)])
+    assert are_bisimilar(g, 1, 3)
+    g.set_label(4, "Z")
+    assert not are_bisimilar(g, 1, 3)
+
+
+def test_is_bisimulation_rejects_bad_relations():
+    g = DiGraph.from_edges([(1, 2)])
+    assert not is_bisimulation(g, [(1, 2)])  # 2 has no child matching 1's
+    assert is_bisimulation(g, [(1, 1), (2, 2)])
+    g2 = DiGraph.from_edges([(1, 2), (3, 4)])
+    g2.set_label(1, "X")
+    assert not is_bisimulation(g2, [(1, 3)])  # label mismatch

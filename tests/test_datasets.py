@@ -1,0 +1,108 @@
+"""Tests for the dataset catalog and workload generators."""
+
+import pytest
+
+from repro.datasets.catalog import CATALOG, load, pattern_suite, reachability_suite
+from repro.datasets.evolution import densification_sequence, grow_preferential
+from repro.datasets.patterns import label_frequencies, random_pattern
+from repro.datasets.updates import (
+    apply_updates,
+    deletion_batch,
+    insertion_batch,
+    mixed_batch,
+)
+from repro.graph.generators import gnm_random_graph
+from repro.graph.traversal import is_acyclic
+
+
+def test_catalog_contents():
+    assert len(CATALOG) == 12
+    assert len(reachability_suite()) == 10  # Table 1 rows
+    assert len(pattern_suite()) == 5  # Table 2 rows
+    for spec in reachability_suite():
+        assert spec.paper_table1 is not None
+    for spec in pattern_suite():
+        assert spec.paper_table2 is not None
+
+
+def test_load_is_deterministic():
+    a = load("p2p", seed=3, scale=0.3)
+    b = load("p2p", seed=3, scale=0.3)
+    assert a.structure_equal(b)
+    c = load("p2p", seed=4, scale=0.3)
+    assert not a.structure_equal(c)
+
+
+def test_load_scale_and_unknown():
+    small = load("wikiVote", seed=1, scale=0.2)
+    big = load("wikiVote", seed=1, scale=0.5)
+    assert small.order() < big.order()
+    with pytest.raises(ValueError):
+        load("no-such-dataset")
+
+
+def test_citation_family_is_acyclic():
+    for name in ("citHepTh", "citation"):
+        assert is_acyclic(load(name, seed=2, scale=0.2))
+
+
+def test_labeled_datasets_have_labels():
+    for spec in pattern_suite():
+        g = spec.build(seed=1, scale=0.2)
+        if spec.labels > 1:
+            assert len(g.label_set()) > 1
+
+
+def test_insertion_batch_properties():
+    g = gnm_random_graph(30, 60, seed=1)
+    batch = insertion_batch(g, 20, seed=2)
+    assert len(batch) == 20
+    assert all(op == "+" for op, _, _ in batch)
+    # No duplicates, no existing edges.
+    pairs = [(u, v) for _, u, v in batch]
+    assert len(set(pairs)) == len(pairs)
+    assert all(not g.has_edge(u, v) for u, v in pairs)
+    assert g.size() == 60  # input untouched
+
+
+def test_deletion_batch_properties():
+    g = gnm_random_graph(30, 60, seed=3)
+    batch = deletion_batch(g, 15, seed=4)
+    assert len(batch) == 15
+    assert all(op == "-" and g.has_edge(u, v) for op, u, v in batch)
+
+
+def test_mixed_batch_and_apply():
+    g = gnm_random_graph(30, 60, seed=5)
+    batch = mixed_batch(g, 20, insert_ratio=0.5, seed=6)
+    updated = apply_updates(g, batch)
+    assert g.size() == 60
+    inserts = sum(1 for op, _, _ in batch if op == "+")
+    deletes = len(batch) - inserts
+    assert updated.size() == 60 + inserts - deletes
+
+
+def test_densification_sequence_grows_superlinearly():
+    snaps = list(densification_sequence(100, alpha=1.2, beta=1.3, steps=4, seed=7))
+    assert len(snaps) == 4
+    for a, b in zip(snaps, snaps[1:]):
+        assert b.order() > a.order()
+        assert b.size() > a.size()
+    # Densification: average degree increases.
+    assert snaps[-1].size() / snaps[-1].order() > snaps[0].size() / snaps[0].order()
+
+
+def test_grow_preferential_in_place():
+    g = gnm_random_graph(20, 30, seed=8)
+    grow_preferential(g, new_nodes=10, target_edges=80)
+    assert g.order() == 30
+    assert g.size() >= 80
+
+
+def test_random_pattern_uses_graph_alphabet():
+    g = gnm_random_graph(30, 90, num_labels=4, seed=9)
+    freq = label_frequencies(g)
+    assert sum(freq.values()) == 30
+    q = random_pattern(g, 4, 5, max_bound=3, star_prob=0.5, seed=10)
+    assert set(q.nodes.values()) <= set(freq)
+    assert q.order() == 4 and q.size() >= 3

@@ -1,0 +1,107 @@
+"""Unit tests for the labeled digraph store and the node indexer."""
+
+import pytest
+
+from repro.graph.digraph import DEFAULT_LABEL, DiGraph, NodeIndexer
+
+
+def test_add_and_remove_edges():
+    g = DiGraph()
+    assert g.add_edge("a", "b")
+    assert not g.add_edge("a", "b")  # duplicate
+    assert g.has_edge("a", "b")
+    assert g.size() == 1 and g.order() == 2
+    assert g.remove_edge("a", "b")
+    assert not g.remove_edge("a", "b")
+    assert g.size() == 0 and g.order() == 2  # nodes survive edge removal
+
+
+def test_self_loop_allowed():
+    g = DiGraph.from_edges([(1, 1)])
+    assert g.has_edge(1, 1)
+    assert g.out_degree(1) == 1 and g.in_degree(1) == 1
+
+
+def test_adjacency_is_symmetric_between_directions():
+    g = DiGraph.from_edges([(1, 2), (1, 3), (3, 2)])
+    assert g.successors(1) == {2, 3}
+    assert g.predecessors(2) == {1, 3}
+    assert g.out_degree(1) == 2
+    assert g.in_degree(2) == 2
+
+
+def test_labels_default_and_override():
+    g = DiGraph()
+    g.add_node("x")
+    assert g.label("x") == DEFAULT_LABEL
+    g.set_label("x", "L1")
+    assert g.label("x") == "L1"
+    g.add_node("x", label="IGNORED")  # re-adding keeps the existing label
+    assert g.label("x") == "L1"
+    assert g.label_set() == {"L1"}
+    assert g.nodes_with_label("L1") == ["x"]
+
+
+def test_remove_node_removes_incident_edges():
+    g = DiGraph.from_edges([(1, 2), (2, 3), (3, 1), (2, 2)])
+    g.remove_node(2)
+    assert 2 not in g
+    assert g.size() == 1  # only 3 -> 1 remains
+    assert g.edge_list() == [(3, 1)]
+
+
+def test_graph_size_measure():
+    g = DiGraph.from_edges([(1, 2), (2, 3)])
+    assert g.graph_size() == 3 + 2  # |V| + |E|, the paper's |G|
+
+
+def test_copy_is_independent():
+    g = DiGraph.from_edges([(1, 2)])
+    h = g.copy()
+    h.add_edge(2, 3)
+    h.set_label(1, "Z")
+    assert not g.has_edge(2, 3)
+    assert g.label(1) == DEFAULT_LABEL
+
+
+def test_reverse():
+    g = DiGraph.from_edges([(1, 2), (2, 3)])
+    r = g.reverse()
+    assert r.has_edge(2, 1) and r.has_edge(3, 2)
+    assert r.size() == g.size() and r.order() == g.order()
+
+
+def test_subgraph_induced():
+    g = DiGraph.from_edges([(1, 2), (2, 3), (3, 1), (1, 4)])
+    s = g.subgraph([1, 2, 3])
+    assert s.order() == 3
+    assert set(s.edges()) == {(1, 2), (2, 3), (3, 1)}
+
+
+def test_structure_equal():
+    g = DiGraph.from_edges([(1, 2)])
+    h = DiGraph.from_edges([(1, 2)])
+    assert g.structure_equal(h)
+    h.set_label(1, "L")
+    assert not g.structure_equal(h)
+
+
+def test_node_indexer_roundtrip():
+    ix = NodeIndexer(["a", "b", "c"])
+    assert len(ix) == 3
+    assert ix.node(ix.index("b")) == "b"
+    mask = ix.bitset(["a", "c"])
+    assert ix.unpack(mask) == ["a", "c"]
+    assert ix.indices(["c", "a"]) == [ix.index("c"), ix.index("a")]
+
+
+def test_node_indexer_rejects_duplicates():
+    with pytest.raises(ValueError):
+        NodeIndexer(["a", "a"])
+
+
+def test_networkx_roundtrip():
+    g = DiGraph.from_edges([(1, 2), (2, 3)], labels={1: "X"})
+    nxg = g.to_networkx()
+    back = DiGraph.from_networkx(nxg)
+    assert back.structure_equal(g)

@@ -1,0 +1,225 @@
+"""Unit tests for traversal, SCC, transitive closure/reduction, and ranks."""
+
+import random
+
+import pytest
+
+from repro.graph.bitset import bitset_of, contains, iter_bits, popcount, without
+from repro.graph.digraph import DiGraph, NodeIndexer
+from repro.graph.generators import gnm_random_graph
+from repro.graph.rank import (
+    NEG_INF,
+    bisimulation_ranks,
+    rank_strata,
+    topological_ranks,
+    well_founded_nodes,
+)
+from repro.graph.scc import (
+    condensation,
+    strongly_connected_components,
+    strongly_connected_components_within,
+)
+from repro.graph.transitive import (
+    aho_transitive_reduction,
+    ancestor_bitsets,
+    dag_transitive_reduction,
+    descendant_bitsets,
+    naive_transitive_closure_pairs,
+    transitive_closure_pairs,
+)
+from repro.graph.traversal import (
+    bfs_distances,
+    bfs_reachable,
+    bidirectional_reachable,
+    dfs_postorder,
+    dfs_preorder,
+    is_acyclic,
+    nonempty_path_exists,
+    path_exists,
+    topological_order,
+)
+
+
+# ----------------------------------------------------------------------
+# bitset helpers
+# ----------------------------------------------------------------------
+def test_bitset_helpers():
+    mask = bitset_of([0, 2, 5])
+    assert mask == 0b100101
+    assert list(iter_bits(mask)) == [0, 2, 5]
+    assert popcount(mask) == 3
+    assert contains(mask, 2) and not contains(mask, 1)
+    assert without(mask, 2) == 0b100001
+
+
+# ----------------------------------------------------------------------
+# traversal
+# ----------------------------------------------------------------------
+def test_bfs_reachable_includes_source():
+    g = DiGraph.from_edges([(1, 2), (2, 3)])
+    assert bfs_reachable(g, 1) == {1, 2, 3}
+    assert bfs_reachable(g, 3) == {3}
+    assert bfs_reachable(g, 3, reverse=True) == {1, 2, 3}
+
+
+def test_bfs_distances_with_depth_cap():
+    g = DiGraph.from_edges([(1, 2), (2, 3), (3, 4)])
+    assert bfs_distances(g, 1) == {1: 0, 2: 1, 3: 2, 4: 3}
+    assert bfs_distances(g, 1, max_depth=2) == {1: 0, 2: 1, 3: 2}
+
+
+def test_path_exists_and_bibfs_agree_randomized():
+    rng = random.Random(0)
+    for trial in range(10):
+        g = gnm_random_graph(30, rng.randrange(10, 120), seed=trial)
+        for _ in range(80):
+            u, v = rng.randrange(30), rng.randrange(30)
+            assert path_exists(g, u, v) == bidirectional_reachable(g, u, v)
+
+
+def test_nonempty_path_self_requires_cycle():
+    g = DiGraph.from_edges([(1, 2), (2, 1), (3, 4)])
+    assert nonempty_path_exists(g, 1, 1)   # on a 2-cycle
+    assert not nonempty_path_exists(g, 3, 3)
+    assert nonempty_path_exists(g, 3, 4)
+
+
+def test_dfs_orders():
+    g = DiGraph.from_edges([(1, 2), (1, 3), (2, 4)])
+    pre = dfs_preorder(g, 1)
+    assert pre[0] == 1 and set(pre) == {1, 2, 3, 4}
+    post = dfs_postorder(g)
+    assert set(post) == {1, 2, 3, 4}
+    assert post.index(4) < post.index(2) < post.index(1)
+
+
+def test_topological_order_and_cycles():
+    dag = DiGraph.from_edges([(1, 2), (2, 3), (1, 3)])
+    order = topological_order(dag)
+    assert order.index(1) < order.index(2) < order.index(3)
+    assert is_acyclic(dag)
+    cyc = DiGraph.from_edges([(1, 2), (2, 1)])
+    assert not is_acyclic(cyc)
+    with pytest.raises(ValueError):
+        topological_order(cyc)
+    loop = DiGraph.from_edges([(1, 1)])
+    assert not is_acyclic(loop)
+
+
+# ----------------------------------------------------------------------
+# SCC / condensation
+# ----------------------------------------------------------------------
+def test_tarjan_basic():
+    g = DiGraph.from_edges([(1, 2), (2, 3), (3, 1), (3, 4), (4, 5), (5, 4)])
+    comps = {frozenset(c) for c in strongly_connected_components(g)}
+    assert comps == {frozenset({1, 2, 3}), frozenset({4, 5})}
+
+
+def test_tarjan_reverse_topological_emission():
+    g = DiGraph.from_edges([(1, 2), (2, 3)])
+    comps = strongly_connected_components(g)
+    # Sinks first: component {3} must come before {1}.
+    order = [c[0] for c in comps]
+    assert order.index(3) < order.index(1)
+
+
+def test_condensation_structure():
+    g = DiGraph.from_edges([(1, 2), (2, 1), (2, 3), (1, 3), (4, 4)])
+    cond = condensation(g)
+    assert cond.scc_count() == 3
+    assert cond.same_scc(1, 2) and not cond.same_scc(1, 3)
+    assert cond.scc_of[4] in cond.cyclic  # self-loop => cyclic
+    assert cond.scc_of[3] not in cond.cyclic
+    scc12 = cond.scc_of[1]
+    scc3 = cond.scc_of[3]
+    assert cond.edge_support[(scc12, scc3)] == 2  # two supporting edges
+    assert is_acyclic(cond.dag)
+
+
+def test_scc_within_members_matches_subgraph():
+    rng = random.Random(1)
+    for trial in range(10):
+        g = gnm_random_graph(25, rng.randrange(10, 100), seed=trial + 50)
+        members = {v for v in g.nodes() if rng.random() < 0.6}
+        want = {
+            frozenset(c)
+            for c in strongly_connected_components(g.subgraph(members))
+        }
+        got = {
+            frozenset(c)
+            for c in strongly_connected_components_within(g, members)
+        }
+        assert want == got
+
+
+# ----------------------------------------------------------------------
+# transitive closure / reduction
+# ----------------------------------------------------------------------
+def test_closure_matches_naive_randomized():
+    rng = random.Random(2)
+    for trial in range(10):
+        g = gnm_random_graph(20, rng.randrange(5, 80), seed=trial + 9)
+        assert transitive_closure_pairs(g) == naive_transitive_closure_pairs(g)
+
+
+def test_dag_transitive_reduction_unique_and_minimal():
+    dag = DiGraph.from_edges([(1, 2), (2, 3), (1, 3)])
+    red = dag_transitive_reduction(dag)
+    assert set(red.edges()) == {(1, 2), (2, 3)}
+    # Reduction preserves the closure.
+    assert transitive_closure_pairs(red) == transitive_closure_pairs(dag)
+
+
+def test_aho_reduction_preserves_closure_with_cycles():
+    rng = random.Random(3)
+    for trial in range(8):
+        g = gnm_random_graph(18, rng.randrange(5, 90), seed=trial + 31)
+        reduced = aho_transitive_reduction(g)
+        assert reduced.size() <= g.size()
+        assert transitive_closure_pairs(reduced) == transitive_closure_pairs(g)
+
+
+def test_descendant_and_ancestor_bitsets():
+    dag = DiGraph.from_edges([(1, 2), (2, 3)])
+    ix = NodeIndexer(dag.node_list())
+    desc = descendant_bitsets(dag, ix)
+    anc = ancestor_bitsets(dag, ix)
+    assert desc[1] == (1 << ix.index(2)) | (1 << ix.index(3))
+    assert anc[3] == (1 << ix.index(1)) | (1 << ix.index(2))
+    refl = descendant_bitsets(dag, ix, reflexive=True)
+    assert refl[3] == 1 << ix.index(3)
+
+
+# ----------------------------------------------------------------------
+# ranks (Section 5)
+# ----------------------------------------------------------------------
+def test_topological_ranks_chain_and_scc():
+    g = DiGraph.from_edges([(1, 2), (2, 3), (3, 2)])  # 1 -> {2,3} cycle
+    r = topological_ranks(g)
+    assert r[2] == r[3] == 0  # bottom SCC, no condensation children
+    assert r[1] == 1
+
+
+def test_well_founded_nodes():
+    g = DiGraph.from_edges([(1, 2), (2, 3), (3, 2), (4, 1)])
+    wf = well_founded_nodes(g)
+    assert not wf[2] and not wf[3]  # on a cycle
+    assert not wf[1] and not wf[4]  # reach a cycle
+    g2 = DiGraph.from_edges([(1, 2)])
+    assert all(well_founded_nodes(g2).values())
+
+
+def test_bisimulation_ranks_paper_cases():
+    # Leaf -> rank 0; bottom cycle -> -inf; mixed parent takes the max.
+    g = DiGraph.from_edges([(1, 2), (1, 3), (3, 4), (4, 3), (2, 5)])
+    rb = bisimulation_ranks(g)
+    assert rb[5] == 0
+    assert rb[2] == 1
+    assert rb[3] == NEG_INF and rb[4] == NEG_INF
+    # rb(1) = max(rb(2)+1 [2 is WF], rb(3) [3 is NWF]) = 2.
+    assert rb[1] == 2
+
+
+def test_rank_strata_sorts_neg_inf_first():
+    strata = rank_strata({1: 0, 2: NEG_INF, 3: 1})
+    assert sorted(strata) == [NEG_INF, 0, 1]

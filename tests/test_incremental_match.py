@@ -1,0 +1,103 @@
+"""Tests for ``IncBMatch`` — incremental bounded-simulation maintenance."""
+
+import random
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import gnm_random_graph
+from repro.queries.incremental_match import IncrementalMatcher
+from repro.queries.matching import match
+from repro.queries.pattern import STAR, GraphPattern
+from repro.datasets.patterns import random_pattern
+
+
+def test_randomized_batches_match_from_scratch():
+    rng = random.Random(13)
+    for trial in range(20):
+        n = rng.randrange(6, 22)
+        m = rng.randrange(5, min(70, n * (n - 1)))
+        g = gnm_random_graph(n, m, num_labels=3, seed=trial * 31)
+        q = random_pattern(g, rng.randrange(2, 5), rng.randrange(2, 5),
+                           max_bound=3, star_prob=0.3, seed=trial)
+        inc = IncrementalMatcher(q, g)
+        work = g.copy()
+        for step in range(5):
+            batch = []
+            for _ in range(rng.randrange(1, 5)):
+                if rng.random() < 0.6:
+                    batch.append(("+", rng.randrange(n), rng.randrange(n)))
+                else:
+                    edges = work.edge_list()
+                    if edges:
+                        u, v = rng.choice(edges)
+                        batch.append(("-", u, v))
+            for op, u, v in batch:
+                (work.add_edge if op == "+" else work.remove_edge)(u, v)
+            got = inc.apply(batch)
+            assert got == match(q, work), f"trial {trial} step {step}"
+
+
+def test_insertion_grows_and_deletion_shrinks_matches():
+    g = DiGraph.from_edges([("a", "b")])
+    g.set_label("a", "A")
+    g.set_label("b", "B")
+    g.add_node("a2", "A")
+    q = GraphPattern()
+    q.add_node(0, "A")
+    q.add_node(1, "B")
+    q.add_edge(0, 1, 1)
+    inc = IncrementalMatcher(q, g)
+    assert inc.current()[0] == {"a"}
+    result = inc.apply([("+", "a2", "b")])
+    assert result[0] == {"a", "a2"}
+    result = inc.apply([("-", "a", "b"), ("-", "a2", "b")])
+    assert result == {}
+
+
+def test_new_node_forces_rebuild_and_stays_correct():
+    g = DiGraph.from_edges([("a", "b")])
+    g.set_label("a", "A")
+    g.set_label("b", "B")
+    q = GraphPattern()
+    q.add_node(0, "A")
+    q.add_node(1, "B")
+    q.add_edge(0, 1, 2)
+    inc = IncrementalMatcher(q, g)
+    inc.apply([("+", "b", "c")])  # brand-new node
+    work = inc.graph
+    assert inc.current() == match(q, work)
+
+
+def test_star_bound_maintenance():
+    chain = [(i, i + 1) for i in range(5)]
+    g = DiGraph.from_edges(chain)
+    for v in g.nodes():
+        g.set_label(v, "N")
+    g.set_label(0, "S")
+    q = GraphPattern()
+    q.add_node(0, "S")
+    q.add_node(1, "N")
+    q.add_edge(0, 1, STAR)
+    inc = IncrementalMatcher(q, g)
+    assert inc.current() == {0: {0}, 1: {1, 2, 3, 4, 5}}
+    # Pattern node 1 has no out-edges, so its candidates are unconstrained;
+    # a mid-chain deletion leaves the maximum match unchanged.
+    inc.apply([("-", 2, 3)])
+    assert inc.current() == match(q, inc.graph)
+    assert inc.current()[0] == {0}
+    # Cutting S off from every N destroys the match entirely.
+    inc.apply([("-", 0, 1)])
+    assert inc.current() == {}
+    # Restoring the edge brings the match back.
+    inc.apply([("+", 0, 1)])
+    assert inc.current()[0] == {0}
+
+
+def test_unknown_op_rejected():
+    g = DiGraph.from_edges([(1, 2)])
+    q = GraphPattern()
+    q.add_node(0, "σ")
+    inc = IncrementalMatcher(q, g)
+    with pytest.raises(ValueError):
+        inc.apply([("!", 1, 2)])

@@ -1,0 +1,130 @@
+"""Tests for the index structures, including the paper's counterexamples.
+
+Sections 3 and 4 argue that bisimulation-based *index graphs* (1-index,
+A(k)-index) are not query preserving: these tests reproduce the exact
+Fig. 4 and Fig. 6 scenarios and verify that this library's compressions get
+the same queries right.
+"""
+
+import random
+
+from repro.core.pattern import compress_pattern
+from repro.core.reachability import compress_reachability
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import gnm_random_graph
+from repro.graph.traversal import path_exists
+from repro.index.interval import IntervalIndex
+from repro.index.kindex import KIndex, k_bisimulation_partition
+from repro.index.twohop import TwoHopIndex
+from repro.queries.matching import match
+from repro.queries.pattern import GraphPattern
+
+
+# ----------------------------------------------------------------------
+# 2-hop and interval indexes answer correctly
+# ----------------------------------------------------------------------
+def test_twohop_correct_randomized():
+    rng = random.Random(3)
+    for trial in range(10):
+        n = rng.randrange(5, 35)
+        g = gnm_random_graph(n, rng.randrange(0, min(130, n * (n - 1))), seed=trial * 5)
+        idx = TwoHopIndex(g)
+        for _ in range(100):
+            u, v = rng.randrange(n), rng.randrange(n)
+            assert idx.query(u, v) == path_exists(g, u, v)
+        entries, avg = idx.stats()
+        assert entries >= 0 and avg >= 0
+        assert idx.memory_cost() > 0
+
+
+def test_interval_correct_randomized():
+    rng = random.Random(4)
+    for trial in range(10):
+        n = rng.randrange(5, 35)
+        g = gnm_random_graph(n, rng.randrange(0, min(130, n * (n - 1))), seed=trial * 7)
+        idx = IntervalIndex(g, dimensions=2, seed=trial)
+        for _ in range(100):
+            u, v = rng.randrange(n), rng.randrange(n)
+            assert idx.query(u, v) == path_exists(g, u, v)
+
+
+def test_twohop_on_compressed_graph_is_smaller():
+    g = gnm_random_graph(60, 300, seed=8)
+    gr = compress_reachability(g).compressed
+    assert TwoHopIndex(gr).entry_count() <= TwoHopIndex(g).entry_count()
+
+
+# ----------------------------------------------------------------------
+# The paper's negative results
+# ----------------------------------------------------------------------
+def test_fig4_one_index_breaks_reachability(fig4_g2):
+    """Fig. 4: the 1-index merges C1/C2, destroying QR(C1, E2)."""
+    g = fig4_g2
+    one_index = KIndex(g)  # full backward bisimulation, the 1-index [19]
+    assert one_index.node_class("C1") == one_index.node_class("C2")
+    ig = one_index.index_graph
+    # On the index graph the merged [C] node reaches [E2] ...
+    assert path_exists(ig, one_index.node_class("C1"), one_index.node_class("E2"))
+    # ... but in G, C1 does not reach E2 — the index gives a wrong answer.
+    assert not path_exists(g, "C1", "E2")
+    # Our reachability compression keeps C1 and C2 apart and answers right.
+    rc = compress_reachability(g)
+    assert not rc.same_class("C1", "C2")
+    assert rc.query("C1", "E2") is False
+    assert rc.query("C2", "E2") is True
+
+
+def test_fig6_ak_index_breaks_patterns(fig6_g1):
+    """Fig. 6: A(1) merges all B nodes; the 2-edge pattern over-matches."""
+    g = fig6_g1
+    a1_index = KIndex(g, k=1)
+    b_class = {a1_index.node_class(b) for b in ("B1", "B2", "B3", "B4", "B5")}
+    assert len(b_class) == 1  # all five B nodes merged (1-bisimilar)
+
+    q = GraphPattern()
+    q.add_node("B", "B")
+    q.add_node("C", "C")
+    q.add_node("D", "D")
+    q.add_edge("B", "C", 1)
+    q.add_edge("B", "D", 1)
+
+    truth = match(q, g)
+    assert truth["B"] == {"B1", "B5"}  # the paper: "only B1 and B5"
+
+    index_answer = match(q, a1_index.index_graph)
+    expanded_b = set(a1_index.expand(index_answer["B"]))
+    assert expanded_b == {"B1", "B2", "B3", "B4", "B5"}  # over-matches
+
+    # The bisimulation-based compression answers exactly.
+    pc = compress_pattern(g)
+    assert pc.query(q, match)["B"] == {"B1", "B5"}
+
+
+def test_k_bisimulation_limits():
+    g = gnm_random_graph(20, 60, num_labels=3, seed=6)
+    # k = 0 is the label partition.
+    p0 = k_bisimulation_partition(g, 0, direction="forward")
+    assert p0.block_count() == len(g.label_set())
+    # Forward fixpoint equals the maximum bisimulation.
+    from repro.core.bisimulation import bisimulation_partition
+
+    pk = k_bisimulation_partition(g, 10 ** 6, direction="forward")
+    assert pk.as_frozen() == bisimulation_partition(g).as_frozen()
+    # Partitions refine monotonically with k.
+    sizes = [
+        k_bisimulation_partition(g, k, direction="forward").block_count()
+        for k in range(5)
+    ]
+    assert sizes == sorted(sizes)
+
+
+def test_kindex_rejects_bad_args():
+    import pytest
+
+    g = gnm_random_graph(5, 6, seed=1)
+    with pytest.raises(ValueError):
+        k_bisimulation_partition(g, -1)
+    with pytest.raises(ValueError):
+        k_bisimulation_partition(g, 1, direction="sideways")
+    with pytest.raises(ValueError):
+        IntervalIndex(g, dimensions=0)

@@ -1,0 +1,179 @@
+"""Tests for bounded simulation Match, graph simulation, and patterns."""
+
+import random
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import gnm_random_graph
+from repro.queries.matching import (
+    MatchContext,
+    boolean_match,
+    bounded_reach_set,
+    match,
+    match_naive,
+    match_relation,
+    verify_match,
+)
+from repro.queries.pattern import STAR, GraphPattern
+from repro.queries.simulation import simulation, simulation_naive
+from repro.datasets.patterns import pattern_workload, random_pattern
+
+
+def chain_pattern(labels, bounds):
+    q = GraphPattern()
+    for i, lab in enumerate(labels):
+        q.add_node(i, lab)
+    for i, b in enumerate(bounds):
+        q.add_edge(i, i + 1, b)
+    return q
+
+
+# ----------------------------------------------------------------------
+# GraphPattern basics
+# ----------------------------------------------------------------------
+def test_pattern_validation():
+    q = GraphPattern()
+    q.add_node("a", "A")
+    with pytest.raises(ValueError):
+        q.add_edge("a", "missing", 1)
+    q.add_node("b", "B")
+    with pytest.raises(ValueError):
+        q.add_edge("a", "b", 0)
+    with pytest.raises(ValueError):
+        q.add_edge("a", "b", "**")
+    q.add_edge("a", "b", STAR)
+    assert q.bound("a", "b") == STAR
+    assert not q.is_simulation_pattern
+    assert q.with_all_bounds(1).is_simulation_pattern
+    assert q.bounds_used() == [STAR]
+
+
+def test_pattern_adjacency_helpers():
+    q = chain_pattern(["A", "B", "C"], [1, 2])
+    assert q.successors(0) == [1]
+    assert q.predecessors(2) == [1]
+    assert q.order() == 3 and q.size() == 2
+    assert q.bounds_used() == [1, 2]
+
+
+# ----------------------------------------------------------------------
+# bounded_reach_set — the cycle-back regression
+# ----------------------------------------------------------------------
+def test_bounded_reach_includes_cycle_back_to_start():
+    g = DiGraph.from_edges([(1, 2), (2, 1)])
+    assert bounded_reach_set(g, 1, 2) == {1, 2}
+    assert bounded_reach_set(g, 1, 1) == {2}
+
+
+def test_bounded_reach_respects_bound():
+    g = DiGraph.from_edges([(1, 2), (2, 3), (3, 4)])
+    assert bounded_reach_set(g, 1, 1) == {2}
+    assert bounded_reach_set(g, 1, 2) == {2, 3}
+    assert bounded_reach_set(g, 1, 10) == {2, 3, 4}
+
+
+# ----------------------------------------------------------------------
+# Match semantics
+# ----------------------------------------------------------------------
+def test_simple_bounded_match():
+    g = DiGraph.from_edges([("x", "y"), ("y", "z")])
+    g.set_label("x", "A"); g.set_label("y", "B"); g.set_label("z", "C")
+    q = chain_pattern(["A", "C"], [2])
+    result = match(q, g)
+    assert result == {0: {"x"}, 1: {"z"}}
+    # Bound 1 is too tight: no match at all.
+    assert match(chain_pattern(["A", "C"], [1]), g) == {}
+
+
+def test_star_bound_unbounded_paths():
+    g = DiGraph.from_edges([(i, i + 1) for i in range(6)])
+    for v in g.nodes():
+        g.set_label(v, "N")
+    g.set_label(0, "S")
+    g.set_label(6, "T")
+    q = chain_pattern(["S", "T"], [STAR])
+    assert match(q, g) == {0: {0}, 1: {6}}
+
+
+def test_match_is_maximum(recommendation_network, pattern_qp):
+    g = recommendation_network
+    result = match(pattern_qp, g)
+    assert verify_match(pattern_qp, g, result)
+    # Maximality: adding any excluded (u, v) pair breaks validity.
+    rel = match_relation(result)
+    for u in pattern_qp.nodes:
+        for v in g.nodes():
+            if g.label(v) != pattern_qp.label(u) or (u, v) in rel:
+                continue
+            bigger = {k: set(vs) for k, vs in result.items()}
+            bigger[u].add(v)
+            assert not verify_match(pattern_qp, g, bigger)
+
+
+def test_empty_pattern_and_missing_labels():
+    g = gnm_random_graph(10, 20, num_labels=2, seed=1)
+    assert match(GraphPattern(), g) == {}
+    q = GraphPattern()
+    q.add_node(0, "NO_SUCH_LABEL")
+    assert match(q, g) == {}
+    assert boolean_match(q, g) is False
+
+
+def test_match_vs_naive_randomized():
+    rng = random.Random(6)
+    for trial in range(20):
+        n = rng.randrange(5, 25)
+        g = gnm_random_graph(n, rng.randrange(5, min(90, n * (n - 1))), num_labels=3, seed=trial + 23)
+        q = random_pattern(g, rng.randrange(2, 5), rng.randrange(2, 6),
+                           max_bound=3, star_prob=0.25, seed=trial)
+        got = match(q, g)
+        assert got == match_naive(q, g)
+        assert verify_match(q, g, got)
+
+
+def test_context_reuse_and_invalidate():
+    g = gnm_random_graph(15, 50, num_labels=2, seed=9)
+    ctx = MatchContext(g)
+    q = random_pattern(g, 3, 3, max_bound=2, seed=1)
+    first = match(q, g, ctx)
+    assert match(q, g, ctx) == first  # cached closures give same answer
+    g.add_edge(0, 1)
+    ctx.invalidate()
+    assert match(q, g, ctx) == match_naive(q, g)
+
+
+def test_context_graph_mismatch_rejected():
+    g1 = gnm_random_graph(5, 5, seed=1)
+    g2 = gnm_random_graph(5, 5, seed=2)
+    ctx = MatchContext(g1)
+    q = GraphPattern(); q.add_node(0, "σ")
+    with pytest.raises(ValueError):
+        match(q, g2, ctx)
+
+
+# ----------------------------------------------------------------------
+# Graph simulation (the bounds-1 special case)
+# ----------------------------------------------------------------------
+def test_simulation_equals_bound1_match_randomized():
+    rng = random.Random(7)
+    for trial in range(15):
+        n = rng.randrange(5, 25)
+        g = gnm_random_graph(n, rng.randrange(5, min(90, n * (n - 1))), num_labels=3, seed=trial + 41)
+        q = random_pattern(g, rng.randrange(2, 5), rng.randrange(2, 6),
+                           max_bound=1, seed=trial).with_all_bounds(1)
+        sim = simulation(q, g)
+        assert sim == simulation_naive(q, g)
+        assert sim == match(q, g)
+
+
+def test_pattern_workload_shapes():
+    g = gnm_random_graph(30, 100, num_labels=4, seed=3)
+    sizes = [(3, 3, 3), (4, 4, 2)]
+    workload = pattern_workload(g, sizes, per_size=2, seed=5)
+    assert set(workload) == set(sizes)
+    for (vp, ep, k), patterns in workload.items():
+        assert len(patterns) == 2
+        for q in patterns:
+            assert q.order() == vp
+            assert q.size() >= vp - 1  # connected

@@ -1,0 +1,84 @@
+"""Unit tests for the partition-refinement data structure."""
+
+import pytest
+
+from repro.graph.partition import Partition
+
+
+def test_from_blocks_and_lookup():
+    p = Partition.from_blocks([["a", "b"], ["c"]])
+    assert p.block_count() == 2
+    assert len(p) == 3
+    assert p.same_block("a", "b") and not p.same_block("a", "c")
+    assert "a" in p and "z" not in p
+
+
+def test_discrete_and_by_key():
+    p = Partition.discrete([1, 2, 3])
+    assert p.block_count() == 3
+    q = Partition.by_key([1, 2, 3, 4], key=lambda v: v % 2)
+    assert q.block_count() == 2
+    assert q.same_block(1, 3) and q.same_block(2, 4)
+
+
+def test_add_block_rejects_duplicates_and_empty():
+    p = Partition.from_blocks([["a"]])
+    with pytest.raises(ValueError):
+        p.add_block(["a"])
+    with pytest.raises(ValueError):
+        p.add_block([])
+
+
+def test_split_keeps_old_id_for_remainder():
+    p = Partition.from_blocks([["a", "b", "c"]])
+    bid = p.block_of("a")
+    kept, new = p.split_block(bid, ["c"])
+    assert kept == bid and new is not None
+    assert p.block_of("a") == bid and p.block_of("c") == new
+    # Degenerate splits are no-ops.
+    assert p.split_block(bid, [])[1] is None
+    assert p.split_block(bid, ["a", "b"])[1] is None
+
+
+def test_split_rejects_non_subset():
+    p = Partition.from_blocks([["a"], ["b"]])
+    with pytest.raises(ValueError):
+        p.split_block(p.block_of("a"), ["b"])
+
+
+def test_merge_blocks():
+    p = Partition.from_blocks([["a"], ["b"], ["c"]])
+    target = p.merge_blocks([p.block_of("a"), p.block_of("b")])
+    assert p.block_of("a") == p.block_of("b") == target
+    assert p.block_count() == 2
+
+
+def test_remove_and_move_and_isolate():
+    p = Partition.from_blocks([["a", "b"], ["c"]])
+    bid = p.remove_node("a")
+    assert "a" not in p and p.members(bid) == {"b"}
+    p.move_node("c", bid)
+    assert p.same_block("b", "c")
+    assert p.block_count() == 1
+    new = p.isolate("b")
+    assert p.block_of("b") == new and p.block_count() == 2
+
+
+def test_remove_last_member_deletes_block():
+    p = Partition.from_blocks([["a"], ["b"]])
+    p.remove_node("a")
+    assert p.block_count() == 1
+
+
+def test_refine_by_signature():
+    p = Partition.from_blocks([[1, 2, 3, 4]])
+    changed = p.refine_by(lambda v: v % 2)
+    assert changed
+    assert p.same_block(1, 3) and p.same_block(2, 4) and not p.same_block(1, 2)
+    assert not p.refine_by(lambda v: v % 2)  # already stable
+
+
+def test_as_frozen_is_canonical():
+    p = Partition.from_blocks([["a", "b"], ["c"]])
+    q = Partition.from_blocks([["c"], ["b", "a"]])
+    assert p.as_frozen() == q.as_frozen()

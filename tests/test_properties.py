@@ -1,0 +1,177 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These hammer the central claims of the paper on arbitrary small graphs:
+preservation of reachability and pattern answers, equivalence-relation laws,
+quotient soundness, transitive-reduction minimality, and incremental/batch
+agreement.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bisimulation import (
+    bisimulation_partition,
+    bisimulation_partition_naive,
+    is_stable,
+)
+from repro.core.equivalence import reachability_partition, reachability_partition_naive
+from repro.core.incremental_pattern import IncrementalPatternCompressor
+from repro.core.incremental_reach import IncrementalReachabilityCompressor
+from repro.core.pattern import compress_pattern
+from repro.core.reachability import compress_reachability
+from repro.graph.digraph import DiGraph
+from repro.graph.transitive import (
+    dag_transitive_reduction,
+    transitive_closure_pairs,
+)
+from repro.graph.traversal import path_exists
+from repro.queries.matching import match, match_naive
+from repro.datasets.patterns import random_pattern
+
+
+@st.composite
+def small_graphs(draw, max_nodes=12, labels=("X", "Y")):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=3 * n,
+        )
+    )
+    label_choice = draw(st.lists(st.sampled_from(labels), min_size=n, max_size=n))
+    g = DiGraph()
+    for v in range(n):
+        g.add_node(v, label_choice[v])
+    for u, v in edges:
+        g.add_edge(u, v)
+    return g
+
+
+@st.composite
+def graph_with_updates(draw):
+    g = draw(small_graphs(max_nodes=10))
+    n = g.order()
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["+", "-"]),
+                st.integers(min_value=0, max_value=n + 2),
+                st.integers(min_value=0, max_value=n + 2),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    return g, list(ops)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_graphs())
+def test_reachability_equivalence_laws(g):
+    part = reachability_partition(g)
+    # Same partition as the literal definition.
+    assert part.as_frozen() == reachability_partition_naive(g).as_frozen()
+    # Partition covers every node exactly once.
+    assert sum(len(b) for b in part.blocks()) == g.order()
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_graphs())
+def test_reachability_preservation(g):
+    rc = compress_reachability(g)
+    assert rc.stats().compressed_size <= rc.stats().original_size
+    for u in g.nodes():
+        for v in g.nodes():
+            assert rc.query(u, v) == path_exists(g, u, v)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_graphs())
+def test_bisimulation_partition_properties(g):
+    part = bisimulation_partition(g)
+    assert part.as_frozen() == bisimulation_partition_naive(g).as_frozen()
+    assert is_stable(g, part)
+    # Blocks are label-uniform.
+    for block in part.blocks():
+        assert len({g.label(v) for v in block}) == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_graphs(), st.integers(min_value=0, max_value=1 << 30))
+def test_pattern_preservation(g, seed):
+    if g.size() == 0:
+        return
+    pc = compress_pattern(g)
+    rng = random.Random(seed)
+    q = random_pattern(
+        g, rng.randrange(2, 4), rng.randrange(1, 4), max_bound=2,
+        star_prob=0.3, seed=seed,
+    )
+    assert pc.query(q, match) == match_naive(q, g)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_graphs())
+def test_transitive_reduction_is_minimal_and_equivalent(g):
+    from repro.graph.scc import condensation
+
+    dag = condensation(g).dag
+    red = dag_transitive_reduction(dag)
+    closure = transitive_closure_pairs(dag)
+    assert transitive_closure_pairs(red) == closure
+    # Minimality: every kept edge is necessary.
+    for u, v in list(red.edges()):
+        red.remove_edge(u, v)
+        assert transitive_closure_pairs(red) != closure
+        red.add_edge(u, v)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_with_updates())
+def test_incremental_reachability_agrees_with_batch(data):
+    g, updates = data
+    inc = IncrementalReachabilityCompressor(g)
+    work = g.copy()
+    for op, u, v in updates:
+        (work.add_edge if op == "+" else work.remove_edge)(u, v)
+    inc.apply(updates)
+    want = compress_reachability(work)
+    got = inc.compression()
+
+    def canon(rc):
+        mem = {h: frozenset(rc.members(h)) for h in rc.compressed.nodes()}
+        return (
+            frozenset(mem.values()),
+            frozenset((mem[a], mem[b]) for a, b in rc.compressed.edges()),
+        )
+
+    assert canon(want) == canon(got)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_with_updates())
+def test_incremental_pattern_agrees_with_batch(data):
+    g, updates = data
+    inc = IncrementalPatternCompressor(g)
+    work = g.copy()
+    for op, u, v in updates:
+        (work.add_edge if op == "+" else work.remove_edge)(u, v)
+    inc.apply(updates)
+    want = compress_pattern(work)
+    got = inc.compression()
+
+    def canon(pc):
+        mem = {h: frozenset(pc.members(h)) for h in pc.compressed.nodes()}
+        return (
+            frozenset(mem.values()),
+            frozenset((mem[a], mem[b]) for a, b in pc.compressed.edges()),
+            frozenset(
+                (mem[h], pc.compressed.label(h)) for h in pc.compressed.nodes()
+            ),
+        )
+
+    assert canon(want) == canon(got)
