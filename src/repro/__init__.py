@@ -26,6 +26,7 @@ Quickstart::
     rc.query("a", "c")   # True — evaluated on the compressed graph
 """
 
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph, NodeIndexer
 from repro.graph.partition import Partition
 from repro.core.base import CompressionStats, QueryPreservingCompression
@@ -54,6 +55,7 @@ __version__ = "1.0.0"
 __all__ = [
     "DiGraph",
     "NodeIndexer",
+    "CSRGraph",
     "Partition",
     "CompressionStats",
     "QueryPreservingCompression",

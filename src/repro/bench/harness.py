@@ -75,6 +75,7 @@ _EXPERIMENTS: Dict[str, str] = {
     "fig12k": "repro.bench.experiments.fig12k",
     "fig12l": "repro.bench.experiments.fig12l",
     "ablations": "repro.bench.experiments.ablations",
+    "kernels": "repro.bench.experiments.kernels",
 }
 
 REGISTRY: Dict[str, Callable[[bool], ExperimentResult]] = {}

@@ -42,8 +42,10 @@ from __future__ import annotations
 from typing import Callable, Dict, Hashable, List, Optional, Tuple
 
 from repro.core.base import CompressionStats, QueryPreservingCompression
-from repro.core.equivalence import scc_signatures
+from repro.core.equivalence import canonical_classes
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DEFAULT_LABEL, DiGraph
+from repro.graph.kernels import reachability_quotient
 from repro.graph.scc import Condensation, condensation
 from repro.graph.transitive import dag_transitive_reduction
 from repro.graph.traversal import bidirectional_reachable, path_exists
@@ -120,6 +122,31 @@ class ReachabilityCompression(QueryPreservingCompression):
     def in_same_scc(self, u: Node, v: Node) -> bool:
         return self._scc_of[u] == self._scc_of[v]
 
+    def canonical_form(self) -> Tuple:
+        """Fully-ordered rendering of the whole artifact, for equality tests.
+
+        Two compressions of the same graph are byte-identical — same stats,
+        same hypernode ids, same quotient edges, same member lists — iff
+        their canonical forms compare equal.  This is the contract between
+        the ``csr`` and ``dict`` backends (and across hash seeds); the
+        kernels benchmark and the cross-validation tests both check it.
+        """
+        gr = self._gr
+        stats = self.stats()
+        return (
+            (
+                stats.original_nodes,
+                stats.original_edges,
+                stats.compressed_nodes,
+                stats.compressed_edges,
+            ),
+            self._scc_graph_size,
+            tuple(sorted(gr.nodes())),
+            tuple(sorted(gr.edges())),
+            dict(self._class_of),
+            tuple((h, tuple(self._members[h])) for h in sorted(gr.nodes())),
+        )
+
     # -- end-to-end evaluation ------------------------------------------
     def query(
         self,
@@ -163,15 +190,73 @@ class ReachabilityCompression(QueryPreservingCompression):
         return f"ReachabilityCompression({self.stats()})"
 
 
-def compress_reachability(graph: DiGraph) -> ReachabilityCompression:
+def compress_reachability(
+    graph: DiGraph, backend: str = "csr"
+) -> ReachabilityCompression:
     """``compressR``: build the reachability preserving compression of *graph*.
 
     See the module docstring for the pipeline; the output ``Gr`` is the
     transitive reduction of the quotient of the condensation by ``Re``,
     with every hypernode labeled with the paper's fixed dummy label σ.
+
+    ``backend`` selects the implementation: ``"csr"`` (default) freezes the
+    graph into :class:`~repro.graph.csr.CSRGraph` once and runs the integer
+    kernels of :mod:`repro.graph.kernels`; ``"dict"`` runs the original
+    dict-of-sets pipeline and serves as the cross-validation reference.
+    Both produce *identical* output — hypernode ids are assigned
+    canonically, in order of each class's first member in the graph's node
+    insertion order, so the compressed structure, the node mapping and the
+    stats are byte-for-byte the same (and independent of hash seeds).
     """
+    if backend == "csr":
+        return _compress_reachability_csr(graph)
+    if backend == "dict":
+        return _compress_reachability_dict(graph)
+    raise ValueError(f"unknown backend: {backend!r} (expected 'csr' or 'dict')")
+
+
+def _compress_reachability_csr(graph: DiGraph) -> ReachabilityCompression:
+    """``compressR`` over the frozen CSR backend (integer kernels)."""
+    csr = CSRGraph.from_digraph(graph)
+    quotient = reachability_quotient(csr)
+
+    gr = DiGraph()
+    for cid in range(quotient.nclasses):
+        gr.add_node(cid, DEFAULT_LABEL)
+    for ci, cj in quotient.reduced_edges:
+        gr.add_edge(ci, cj)
+
+    node_of = csr.indexer.node
+    class_of_node = quotient.class_of_node
+    class_of: Dict[Node, int] = {}
+    class_members: Dict[int, List[Node]] = {cid: [] for cid in range(quotient.nclasses)}
+    for i in range(csr.n):
+        v = node_of(i)
+        cid = class_of_node[i]
+        class_of[v] = cid
+        class_members[cid].append(v)
+
+    cond = quotient.cond
+    comp = cond.comp
+    scc_of = {node_of(i): comp[i] for i in range(csr.n)}
+    cyclic = frozenset(c for c in range(cond.ncomp) if cond.cyclic[c])
+
+    return ReachabilityCompression(
+        compressed=gr,
+        class_of=class_of,
+        class_members=class_members,
+        scc_of=scc_of,
+        cyclic_scc=cyclic,
+        original_nodes=graph.order(),
+        original_edges=graph.size(),
+        scc_graph_size=cond.graph_size(),
+    )
+
+
+def _compress_reachability_dict(graph: DiGraph) -> ReachabilityCompression:
+    """``compressR`` over the mutable dict backend (reference path)."""
     cond = condensation(graph)
-    class_of_scc, class_members = _classes_from_condensation(cond)
+    class_of_scc, class_members = canonical_classes(cond, graph.node_list())
 
     quotient = DiGraph()
     for cid in class_members:
@@ -252,22 +337,3 @@ def compress_reachability_bfs(graph: DiGraph) -> ReachabilityCompression:
     )
 
 
-def _classes_from_condensation(
-    cond: Condensation,
-) -> Tuple[Dict[int, int], Dict[int, List[Node]]]:
-    """Group SCCs by ``Re`` signature; returns (scc -> class, class -> nodes)."""
-    signatures = scc_signatures(cond)
-    sig_to_class: Dict[Tuple, int] = {}
-    class_of_scc: Dict[int, int] = {}
-    class_members: Dict[int, List[Node]] = {}
-    next_id = 0
-    for s, sig in signatures.items():
-        cid = sig_to_class.get(sig)
-        if cid is None:
-            cid = next_id
-            next_id += 1
-            sig_to_class[sig] = cid
-            class_members[cid] = []
-        class_of_scc[s] = cid
-        class_members[cid].extend(cond.members[s])
-    return class_of_scc, class_members

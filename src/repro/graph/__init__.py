@@ -8,9 +8,26 @@ the Aho–Garey–Ullman baseline (:mod:`repro.graph.transitive`), the two rank
 functions of Section 5 (:mod:`repro.graph.rank`), a partition-refinement data
 structure (:mod:`repro.graph.partition`), random graph generators
 (:mod:`repro.graph.generators`) and simple I/O (:mod:`repro.graph.io`).
+
+Two adjacency backends coexist: the mutable dict-of-sets
+:class:`~repro.graph.digraph.DiGraph` (incremental algorithms, reference
+implementations) and the frozen :class:`~repro.graph.csr.CSRGraph`
+(:mod:`repro.graph.csr`) whose integer-array kernels
+(:mod:`repro.graph.kernels`) power the batch compression hot loops.
 """
 
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph, NodeIndexer
+from repro.graph.kernels import (
+    CSRCondensation,
+    csr_bfs,
+    csr_bisimulation_blocks,
+    csr_condensation,
+    csr_dag_transitive_reduction,
+    csr_path_exists,
+    csr_scc,
+    csr_topological_order,
+)
 from repro.graph.scc import Condensation, condensation, strongly_connected_components
 from repro.graph.traversal import (
     bfs_reachable,
@@ -40,6 +57,15 @@ from repro.graph.generators import (
 __all__ = [
     "DiGraph",
     "NodeIndexer",
+    "CSRGraph",
+    "CSRCondensation",
+    "csr_bfs",
+    "csr_bisimulation_blocks",
+    "csr_condensation",
+    "csr_dag_transitive_reduction",
+    "csr_path_exists",
+    "csr_scc",
+    "csr_topological_order",
     "Condensation",
     "condensation",
     "strongly_connected_components",

@@ -1,0 +1,270 @@
+"""Frozen compressed-sparse-row (CSR) graph backend.
+
+The mutable :class:`~repro.graph.digraph.DiGraph` stores adjacency as
+dict-of-sets, which is ideal for the paper's *incremental* algorithms
+(Section 5: O(1) ``add_edge``/``remove_edge``) but pays a Python hash
+lookup for every edge visit.  The *batch* compression functions —
+``compressR`` and ``compressB`` — traverse every edge a small constant
+number of times, so they are bottlenecked by exactly that hashing.
+
+:class:`CSRGraph` is the frozen counterpart, following the standard
+WebGraph/scipy layout: nodes are mapped to dense integers ``0..n-1`` (via
+:class:`~repro.graph.digraph.NodeIndexer`, preserving the DiGraph's
+insertion order so downstream id assignment is deterministic), and both
+adjacency directions are stored as contiguous ``array``-based
+``indptr``/``indices`` pairs.  Labels are interned to dense integer codes.
+The integer kernels in :mod:`repro.graph.kernels` run over these arrays.
+
+The two backends split responsibilities:
+
+* **dict backend** (:class:`DiGraph`) — mutable, incremental maintenance,
+  reference implementations;
+* **CSR backend** (this module) — frozen snapshots for the batch
+  compression hot loops; convert once with :meth:`CSRGraph.from_digraph`,
+  run the kernels, map integer results back through :attr:`node_of`.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Hashable, List
+
+from repro.graph.digraph import DiGraph, NodeIndexer
+
+Node = Hashable
+
+#: Array typecode for node ids / offsets.  ``q`` (signed 64-bit) keeps the
+#: layout predictable across platforms; graphs here are far below 2^63.
+ID_TYPECODE = "q"
+
+
+class CSRGraph:
+    """An immutable integer-indexed snapshot of a :class:`DiGraph`.
+
+    Attributes
+    ----------
+    n, m:
+        Node and edge counts.
+    indptr, indices:
+        Forward adjacency as ``array`` views: the successors of node ``i``
+        are ``indices[indptr[i]:indptr[i+1]]``, sorted ascending.  Built
+        lazily from the list mirrors (see :meth:`fwd`) on first access —
+        the kernels never touch them, so a freeze-and-compress run pays
+        nothing for them.
+    rindptr, rindices:
+        Reverse adjacency (predecessors), sorted ascending; lazy likewise.
+    label_ids, label_names:
+        ``label_names[label_ids[i]]`` is the label of node ``i``; codes are
+        assigned in order of first appearance over the node order.
+        ``label_ids`` is a lazy ``array`` view of :meth:`label_codes`.
+    indexer:
+        The :class:`NodeIndexer` fixing the node ↔ integer bijection
+        (insertion order of the source graph).
+
+    >>> g = DiGraph.from_edges([("a", "b"), ("a", "c"), ("b", "c")])
+    >>> csr = CSRGraph.from_digraph(g)
+    >>> csr.n, csr.m
+    (3, 3)
+    >>> list(csr.successors(0))  # "a" -> {"b", "c"}
+    [1, 2]
+    >>> list(csr.predecessors(2))  # "c" <- {"a", "b"}
+    [0, 1]
+    """
+
+    __slots__ = (
+        "n",
+        "m",
+        "label_names",
+        "indexer",
+        "_fwd_lists",
+        "_rev_lists",
+        "_label_list",
+        "_arrays",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        m: int,
+        indptr: List[int],
+        indices: List[int],
+        rindptr: List[int],
+        rindices: List[int],
+        label_codes: List[int],
+        label_names: List[str],
+        indexer: NodeIndexer,
+    ) -> None:
+        """Adopt prebuilt CSR buffers (lists are *not* copied).
+
+        The graph is frozen by convention: callers hand over the lists and
+        must not mutate them afterwards.  :meth:`from_digraph` is the
+        normal way to construct one.
+        """
+        self.n = n
+        self.m = m
+        self.label_names = label_names
+        self.indexer = indexer
+        self._fwd_lists = (indptr, indices)
+        self._rev_lists = (rindptr, rindices)
+        self._label_list = label_codes
+        self._arrays: dict = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_digraph(cls, graph: DiGraph) -> "CSRGraph":
+        """Freeze *graph* into CSR form.
+
+        O(|V| + |E| log d) where ``d`` is the max out-degree (per-node
+        neighbor lists are sorted so the layout — and therefore every kernel
+        that runs over it — is independent of set iteration order, i.e. of
+        ``PYTHONHASHSEED``).
+        """
+        nodes = graph.node_list()
+        indexer = NodeIndexer(nodes)
+        index_of = indexer._index.__getitem__
+        n = len(nodes)
+        m = graph.size()
+        successors = graph.successors
+
+        # Forward adjacency: one flat list built row by row (sorted), then a
+        # single bulk conversion to array.
+        indptr_list = [0] * (n + 1)
+        flat: List[int] = []
+        pos = 0
+        for i, v in enumerate(nodes):
+            row = sorted(map(index_of, successors(v)))
+            flat += row
+            pos += len(row)
+            indptr_list[i + 1] = pos
+
+        # Reverse adjacency by counting sort over the flat forward list; a
+        # forward scan in ascending source order leaves each predecessor
+        # segment already sorted.
+        rdeg = [0] * n
+        for j in flat:
+            rdeg[j] += 1
+        rindptr_list = [0] * (n + 1)
+        total = 0
+        for j in range(n):
+            rindptr_list[j] = total
+            total += rdeg[j]
+        rindptr_list[n] = total
+        fill = rindptr_list[:n]
+        rflat = [0] * m
+        start = 0
+        for i in range(n):
+            end = indptr_list[i + 1]
+            for j in flat[start:end]:
+                rflat[fill[j]] = i
+                fill[j] += 1
+            start = end
+
+        label_names: List[str] = []
+        label_code: Dict[str, int] = {}
+        label_list = [0] * n
+        get_label = graph.label
+        for i, v in enumerate(nodes):
+            lab = get_label(v)
+            code = label_code.get(lab)
+            if code is None:
+                code = len(label_names)
+                label_code[lab] = code
+                label_names.append(lab)
+            label_list[i] = code
+
+        return cls(
+            n=n,
+            m=m,
+            indptr=indptr_list,
+            indices=flat,
+            rindptr=rindptr_list,
+            rindices=rflat,
+            label_codes=label_list,
+            label_names=label_names,
+            indexer=indexer,
+        )
+
+    # ------------------------------------------------------------------
+    # Kernel mirrors
+    # ------------------------------------------------------------------
+    def fwd(self):
+        """``(indptr, indices)`` of the forward adjacency as plain lists.
+
+        CPython indexes lists measurably faster than ``array`` objects, and
+        the compression kernels index per edge; these mirrors (built for
+        free during :meth:`from_digraph`) feed the hot loops, while the
+        ``array`` properties provide the compact frozen layout on demand.
+        """
+        return self._fwd_lists
+
+    def rev(self):
+        """``(rindptr, rindices)`` of the reverse adjacency as plain lists."""
+        return self._rev_lists
+
+    def label_codes(self) -> List[int]:
+        """Per-node integer label codes, as a plain list (kernel mirror)."""
+        return self._label_list
+
+    def _array_view(self, key: str, source: List[int]) -> array:
+        view = self._arrays.get(key)
+        if view is None:
+            view = self._arrays[key] = array(ID_TYPECODE, source)
+        return view
+
+    @property
+    def indptr(self) -> array:
+        return self._array_view("indptr", self._fwd_lists[0])
+
+    @property
+    def indices(self) -> array:
+        return self._array_view("indices", self._fwd_lists[1])
+
+    @property
+    def rindptr(self) -> array:
+        return self._array_view("rindptr", self._rev_lists[0])
+
+    @property
+    def rindices(self) -> array:
+        return self._array_view("rindices", self._rev_lists[1])
+
+    @property
+    def label_ids(self) -> array:
+        return self._array_view("label_ids", self._label_list)
+
+    # ------------------------------------------------------------------
+    # Accessors (convenience; kernels use the raw arrays directly)
+    # ------------------------------------------------------------------
+    def node_of(self, i: int) -> Node:
+        """Original node behind integer id *i*."""
+        return self.indexer.node(i)
+
+    def id_of(self, v: Node) -> int:
+        """Integer id of original node *v*."""
+        return self.indexer.index(v)
+
+    def successors(self, i: int) -> array:
+        return self.indices[self.indptr[i] : self.indptr[i + 1]]
+
+    def predecessors(self, i: int) -> array:
+        return self.rindices[self.rindptr[i] : self.rindptr[i + 1]]
+
+    def out_degree(self, i: int) -> int:
+        return self.indptr[i + 1] - self.indptr[i]
+
+    def in_degree(self, i: int) -> int:
+        return self.rindptr[i + 1] - self.rindptr[i]
+
+    def label(self, i: int) -> str:
+        return self.label_names[self._label_list[i]]
+
+    def graph_size(self) -> int:
+        """The paper's ``|G| = |V| + |E|``."""
+        return self.n + self.m
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CSRGraph(|V|={self.n}, |E|={self.m})"

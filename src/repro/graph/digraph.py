@@ -43,12 +43,16 @@ class DiGraph:
     3
     """
 
-    __slots__ = ("_succ", "_pred", "_label", "_num_edges")
+    __slots__ = ("_succ", "_pred", "_label", "_by_label", "_num_edges")
 
     def __init__(self) -> None:
         self._succ: Dict[Node, Set[Node]] = {}
         self._pred: Dict[Node, Set[Node]] = {}
         self._label: Dict[Node, str] = {}
+        # label -> insertion-ordered node set (dict used as an ordered set)
+        # so nodes_with_label is O(answer) instead of an O(|V|) scan, and
+        # iteration order stays deterministic (no hash-order sets).
+        self._by_label: Dict[str, Dict[Node, None]] = {}
         self._num_edges: int = 0
 
     # ------------------------------------------------------------------
@@ -79,6 +83,7 @@ class DiGraph:
         g._succ = {v: set(s) for v, s in self._succ.items()}
         g._pred = {v: set(p) for v, p in self._pred.items()}
         g._label = dict(self._label)
+        g._by_label = {lab: dict(bucket) for lab, bucket in self._by_label.items()}
         g._num_edges = self._num_edges
         return g
 
@@ -91,6 +96,11 @@ class DiGraph:
             self._succ[v] = set()
             self._pred[v] = set()
             self._label[v] = label
+            bucket = self._by_label.get(label)
+            if bucket is None:
+                self._by_label[label] = {v: None}
+            else:
+                bucket[v] = None
 
     def remove_node(self, v: Node) -> None:
         """Remove *v* and all incident edges; KeyError if absent."""
@@ -100,6 +110,10 @@ class DiGraph:
             self.remove_edge(u, v)
         del self._succ[v]
         del self._pred[v]
+        bucket = self._by_label[self._label[v]]
+        del bucket[v]
+        if not bucket:
+            del self._by_label[self._label[v]]
         del self._label[v]
 
     def has_node(self, v: Node) -> bool:
@@ -129,8 +143,22 @@ class DiGraph:
 
     def set_label(self, v: Node, label: str) -> None:
         """Set ``L(v)``, adding *v* if needed."""
-        self.add_node(v)
+        if v not in self._succ:
+            self.add_node(v, label)
+            return
+        old = self._label[v]
+        if old == label:
+            return
+        bucket = self._by_label[old]
+        del bucket[v]
+        if not bucket:
+            del self._by_label[old]
         self._label[v] = label
+        new_bucket = self._by_label.get(label)
+        if new_bucket is None:
+            self._by_label[label] = {v: None}
+        else:
+            new_bucket[v] = None
 
     def labels(self) -> Dict[Node, str]:
         """Return a copy of the labeling function as a dict."""
@@ -141,7 +169,13 @@ class DiGraph:
         return set(self._label.values())
 
     def nodes_with_label(self, label: str) -> List[Node]:
-        return [v for v, lab in self._label.items() if lab == label]
+        """Nodes carrying *label*, in label-assignment order.
+
+        O(answer) via the maintained label index (pattern matching's
+        candidate selection calls this once per pattern node).
+        """
+        bucket = self._by_label.get(label)
+        return list(bucket) if bucket is not None else []
 
     # ------------------------------------------------------------------
     # Edges
@@ -211,6 +245,7 @@ class DiGraph:
         g._succ = {v: set(p) for v, p in self._pred.items()}
         g._pred = {v: set(s) for v, s in self._succ.items()}
         g._label = dict(self._label)
+        g._by_label = {lab: dict(bucket) for lab, bucket in self._by_label.items()}
         g._num_edges = self._num_edges
         return g
 
