@@ -49,6 +49,12 @@ from repro.queries.matching import MatchContext, boolean_match, match
 from repro.queries.simulation import simulation
 from repro.queries.incremental_match import IncrementalMatcher
 from repro.index.twohop import TwoHopIndex
+from repro.store import (
+    SnapshotCatalog,
+    load_snapshot,
+    merge_deltas,
+    save_snapshot,
+)
 
 __version__ = "1.0.0"
 
@@ -79,5 +85,9 @@ __all__ = [
     "simulation",
     "IncrementalMatcher",
     "TwoHopIndex",
+    "SnapshotCatalog",
+    "save_snapshot",
+    "load_snapshot",
+    "merge_deltas",
     "__version__",
 ]

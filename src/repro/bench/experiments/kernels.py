@@ -28,9 +28,9 @@ import json
 import platform
 import random
 import time
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Tuple
 
-from repro.bench.harness import ExperimentResult
+from repro.bench.harness import ExperimentResult, load_or_freeze
 from repro.bench.metrics import time_call
 from repro.core.bisimulation import bisimulation_partition
 from repro.core.equivalence import scc_signatures
@@ -57,6 +57,10 @@ JSON_PATH = "BENCH_kernels.json"
 SCC_SIG_TARGET = 3.0
 SCC_SIG_TARGET_FULL = 2.5
 
+#: Bump when the benchmark graphs change in any way the cache key's explicit
+#: sizes/seeds do not capture (generator defaults, the _social shape, ...).
+_CACHE_KEY_VERSION = "v1"
+
 
 def _social(n_core: int, n_fans: int, seed: int) -> DiGraph:
     g = preferential_attachment_graph(n_core, out_degree=4, reciprocity=0.5, seed=seed)
@@ -71,13 +75,35 @@ def _default_graphs(quick: bool) -> List[Tuple[str, DiGraph]]:
     The last entry is the *largest* default generator graph — the social
     shape (reciprocal core + equivalent fan groups), the family the paper's
     headline compression numbers come from.
+
+    Construction goes through the harness snapshot cache: with
+    ``REPRO_SNAPSHOT_CACHE`` set, repeat runs load binary snapshots instead
+    of regenerating (identical graphs either way).
     """
     scale = 1 if quick else 2
-    return [
-        ("dag", random_dag(2500 * scale, 12000 * scale, seed=5)),
-        ("gnm", gnm_random_graph(4000 * scale, 16000 * scale, seed=7)),
-        ("social", _social(2500 * scale, 3500 * scale, seed=3)),
+    # Cache keys embed the explicit sizes/seeds plus a version token; bump
+    # _CACHE_KEY_VERSION whenever any *other* generator input changes (a
+    # default like num_labels, the _social shape, ...) so stale snapshots
+    # are invalidated instead of silently served.
+    v = _CACHE_KEY_VERSION
+    builders: List[Tuple[str, str, Callable[[], DiGraph]]] = [
+        (
+            "dag",
+            f"kernels-{v}-dag-n{2500 * scale}-m{12000 * scale}-s5",
+            lambda: random_dag(2500 * scale, 12000 * scale, seed=5),
+        ),
+        (
+            "gnm",
+            f"kernels-{v}-gnm-n{4000 * scale}-m{16000 * scale}-s7",
+            lambda: gnm_random_graph(4000 * scale, 16000 * scale, seed=7),
+        ),
+        (
+            "social",
+            f"kernels-{v}-social-c{2500 * scale}-f{3500 * scale}-s3",
+            lambda: _social(2500 * scale, 3500 * scale, seed=3),
+        ),
     ]
+    return [(name, load_or_freeze(key, build)[0]) for name, key, build in builders]
 
 
 def run(quick: bool = True) -> ExperimentResult:

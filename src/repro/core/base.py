@@ -17,11 +17,52 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, Hashable, List
+from typing import Dict, Hashable, List, Tuple
 
 from repro.graph.digraph import DiGraph
 
 Node = Hashable
+
+
+def decode_quotient_arrays(
+    node_order: List[Node],
+    id_array: List[int],
+    nhyper: int,
+    flat_edges: List[int],
+) -> Tuple[Dict[Node, int], Dict[int, List[Node]], List[Tuple[int, int]]]:
+    """Validate and decode a persisted quotient (shared ``from_arrays`` core).
+
+    Returns ``(class_of, class_members, edge_pairs)`` with members grouped
+    in node order.  Raises ``ValueError`` on any shape or range
+    inconsistency — arrays of the wrong length, hypernode ids not covering
+    exactly ``0..nhyper-1``, an odd-length or out-of-range edge array — so
+    the :mod:`repro.store` catalog can treat a malformed variant file as
+    corrupt and recompute instead of rehydrating a broken artifact.
+    """
+    if len(id_array) != len(node_order):
+        raise ValueError("persisted arrays do not match the base graph's node count")
+    if nhyper > len(node_order):
+        # A quotient cannot have more classes than nodes; reject before
+        # set(range(nhyper)) materialises a crafted multi-GB allocation.
+        raise ValueError("persisted hypernode count exceeds the node count")
+    if set(id_array) != set(range(nhyper)):
+        # a memberless hypernode or out-of-range id means the arrays
+        # belong to another graph (empty graphs must claim nhyper == 0)
+        raise ValueError(f"persisted id map does not cover 0..{nhyper - 1}")
+    if len(flat_edges) % 2:
+        raise ValueError("persisted edge array has odd length")
+    if flat_edges and (min(flat_edges) < 0 or max(flat_edges) >= nhyper):
+        # DiGraph.add_edge would silently create a phantom hypernode
+        raise ValueError("persisted quotient edge endpoint out of range")
+    class_of: Dict[Node, int] = {}
+    class_members: Dict[int, List[Node]] = {cid: [] for cid in range(nhyper)}
+    for v, cid in zip(node_order, id_array):
+        class_of[v] = cid
+        class_members[cid].append(v)
+    edge_pairs = [
+        (flat_edges[k], flat_edges[k + 1]) for k in range(0, len(flat_edges), 2)
+    ]
+    return class_of, class_members, edge_pairs
 
 
 @dataclass(frozen=True)

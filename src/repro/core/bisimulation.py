@@ -59,15 +59,24 @@ def bisimulation_partition(graph: DiGraph, backend: str = "csr") -> Partition:
     return identical partitions.
     """
     if backend == "csr":
-        csr = CSRGraph.from_digraph(graph)
-        node_of = csr.indexer.node
-        blocks = csr_bisimulation_blocks(csr)
-        return Partition.from_blocks(
-            [[node_of(i) for i in block] for block in blocks]
-        )
+        return bisimulation_partition_csr(CSRGraph.from_digraph(graph))
     if backend == "dict":
         return _canonical_partition(graph, _bisimulation_partition_dict(graph))
     raise ValueError(f"unknown backend: {backend!r} (expected 'csr' or 'dict')")
+
+
+def bisimulation_partition_csr(csr: CSRGraph) -> Partition:
+    """Maximum bisimulation of an already-frozen graph.
+
+    Snapshot consumers (the :mod:`repro.store` catalog) hold a ``CSRGraph``
+    loaded from disk; this runs the integer kernel without re-freezing and
+    returns the partition over the *original* node ids, blocks in canonical
+    first-member order — identical to :func:`bisimulation_partition` on the
+    thawed graph.
+    """
+    node_of = csr.indexer.node
+    blocks = csr_bisimulation_blocks(csr)
+    return Partition.from_blocks([[node_of(i) for i in block] for block in blocks])
 
 
 def _canonical_partition(graph: DiGraph, partition: Partition) -> Partition:

@@ -20,9 +20,15 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, List, Set
 
-from repro.core.base import CompressionStats, QueryPreservingCompression
+from repro.core.base import (
+    CompressionStats,
+    QueryPreservingCompression,
+    decode_quotient_arrays,
+)
 from repro.core.bisimulation import bisimulation_partition, bisimulation_partition_naive
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
+from repro.graph.kernels import csr_bisimulation_blocks
 from repro.graph.partition import Partition
 
 Node = Hashable
@@ -62,6 +68,83 @@ class PatternCompression(QueryPreservingCompression):
             original_edges=self._original_edges,
             compressed_nodes=self._gr.order(),
             compressed_edges=self._gr.size(),
+        )
+
+    def canonical_form(self) -> tuple:
+        """Fully-ordered rendering of the artifact, for equality tests.
+
+        Same contract as ``ReachabilityCompression.canonical_form``: two
+        compressions agree byte-for-byte iff these compare equal.  Member
+        lists are rendered sorted by ``repr`` because the dict-backend
+        quotient emits them in set order — content equality is what the
+        cross-backend and catalog-rehydration tests assert.
+        """
+        gr = self._gr
+        stats = self.stats()
+        return (
+            (
+                stats.original_nodes,
+                stats.original_edges,
+                stats.compressed_nodes,
+                stats.compressed_edges,
+            ),
+            tuple(sorted(gr.nodes())),
+            tuple(sorted(gr.edges())),
+            tuple((h, gr.label(h)) for h in sorted(gr.nodes())),
+            tuple(sorted((repr(v), cid) for v, cid in self._class_of.items())),
+            tuple(
+                (h, tuple(sorted(repr(v) for v in self._members[h])))
+                for h in sorted(gr.nodes())
+            ),
+        )
+
+    # -- persistence (repro.store catalog) -------------------------------
+    def to_arrays(self, node_order: List[Node]) -> Dict[str, List[int]]:
+        """Flatten the artifact into named integer arrays for the catalog.
+
+        Aligned to *node_order* (the base snapshot's node insertion order);
+        hypernode labels are not stored — they are recovered from the base
+        graph's labels (bisimilar nodes share their label by definition).
+        """
+        return {
+            "stats": [self._original_nodes, self._original_edges],
+            "nblocks": [self._gr.order()],
+            "block_of": [self._class_of[v] for v in node_order],
+            "gb_edges": [i for edge in sorted(self._gr.edges()) for i in edge],
+        }
+
+    @classmethod
+    def from_arrays(
+        cls,
+        node_order: List[Node],
+        node_labels: List[str],
+        arrays: Dict[str, List[int]],
+    ) -> "PatternCompression":
+        """Rehydrate an artifact persisted with :meth:`to_arrays`.
+
+        *node_labels* is the base graph's label per node, aligned with
+        *node_order*; each hypernode takes the label of its first member.
+        Raises ``ValueError`` when the arrays do not fit *node_order* (a
+        variant persisted for a different base graph) or are internally
+        inconsistent; the catalog treats that as a corrupt variant and
+        recomputes.
+        """
+        nblocks = arrays["nblocks"][0]
+        class_of, class_members, edge_pairs = decode_quotient_arrays(
+            node_order, arrays["block_of"], nblocks, arrays["gb_edges"]
+        )
+        label_of_node = dict(zip(node_order, node_labels))
+        gr = DiGraph()
+        for bid in range(nblocks):
+            gr.add_node(bid, label_of_node[class_members[bid][0]])
+        for bi, bj in edge_pairs:
+            gr.add_edge(bi, bj)
+        return cls(
+            compressed=gr,
+            class_of=class_of,
+            class_members=class_members,
+            original_nodes=arrays["stats"][0],
+            original_edges=arrays["stats"][1],
         )
 
     # -- P: post-processing ----------------------------------------------
@@ -114,6 +197,47 @@ def compress_pattern(graph: DiGraph, algorithm: str = "stratified") -> PatternCo
     else:
         raise ValueError(f"unknown bisimulation algorithm: {algorithm!r}")
     return quotient_by_partition(graph, partition)
+
+
+def compress_pattern_csr(csr: CSRGraph) -> PatternCompression:
+    """``compressB`` on an already-frozen graph (no dict backend involved).
+
+    The entry point for snapshot consumers: runs the rank-stratified
+    bisimulation kernel directly over the CSR arrays and materialises the
+    quotient.  Block ids, labels, stats and edges are content-identical to
+    ``compress_pattern(thawed)`` (``canonical_form()`` compares equal).
+    """
+    blocks = csr_bisimulation_blocks(csr)
+    node_of = csr.indexer.node
+    block_of = [0] * csr.n
+    class_of: Dict[Node, int] = {}
+    class_members: Dict[int, List[Node]] = {}
+    gr = DiGraph()
+    for bid, block in enumerate(blocks):
+        gr.add_node(bid, csr.label(block[0]))
+        class_members[bid] = [node_of(i) for i in block]
+        for i in block:
+            block_of[i] = bid
+        for v in class_members[bid]:
+            class_of[v] = bid
+    indptr, indices = csr.fwd()
+    nblocks = len(blocks)
+    seen: set = set()
+    add = seen.add
+    for i in range(csr.n):
+        bi = block_of[i]
+        base = bi * nblocks
+        for ei in range(indptr[i], indptr[i + 1]):
+            add(base + block_of[indices[ei]])
+    for code in sorted(seen):
+        gr.add_edge(*divmod(code, nblocks))
+    return PatternCompression(
+        compressed=gr,
+        class_of=class_of,
+        class_members=class_members,
+        original_nodes=csr.n,
+        original_edges=csr.m,
+    )
 
 
 def quotient_by_partition(graph: DiGraph, partition: Partition) -> PatternCompression:

@@ -41,7 +41,11 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Hashable, List, Optional, Tuple
 
-from repro.core.base import CompressionStats, QueryPreservingCompression
+from repro.core.base import (
+    CompressionStats,
+    QueryPreservingCompression,
+    decode_quotient_arrays,
+)
 from repro.core.equivalence import canonical_classes
 from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DEFAULT_LABEL, DiGraph
@@ -121,6 +125,75 @@ class ReachabilityCompression(QueryPreservingCompression):
 
     def in_same_scc(self, u: Node, v: Node) -> bool:
         return self._scc_of[u] == self._scc_of[v]
+
+    # -- persistence (repro.store catalog) -------------------------------
+    def to_arrays(self, node_order: List[Node]) -> Dict[str, List[int]]:
+        """Flatten the artifact into named integer arrays for the catalog.
+
+        *node_order* must enumerate the original graph's nodes in insertion
+        order (the frozen snapshot's indexer order); per-node maps are
+        stored aligned to it so no node ids need encoding — the catalog's
+        base snapshot already owns them.
+        """
+        arrays = {
+            "stats": [self._original_nodes, self._original_edges],
+            "nclasses": [self._gr.order()],
+            "class_of": [self._class_of[v] for v in node_order],
+            "scc_of": [self._scc_of[v] for v in node_order],
+            "cyclic_sccs": sorted(self._cyclic),
+            "gr_edges": [i for edge in sorted(self._gr.edges()) for i in edge],
+        }
+        if self._scc_graph_size is not None:
+            arrays["scc_graph_size"] = [self._scc_graph_size]
+        return arrays
+
+    @classmethod
+    def from_arrays(
+        cls, node_order: List[Node], arrays: Dict[str, List[int]]
+    ) -> "ReachabilityCompression":
+        """Rehydrate an artifact persisted with :meth:`to_arrays`.
+
+        Byte-identical to the cold run it was saved from: hypernode ids,
+        member order (node insertion order), quotient edges and stats all
+        survive the round trip — ``canonical_form()`` compares equal.
+
+        Raises ``ValueError`` when the arrays do not fit *node_order* (a
+        variant persisted for a different base graph) or are internally
+        inconsistent; the catalog treats that as a corrupt variant and
+        recomputes.
+        """
+        if len(arrays["scc_of"]) != len(node_order):
+            raise ValueError(
+                "persisted arrays do not match the base graph's node count"
+            )
+        nclasses = arrays["nclasses"][0]
+        class_of, class_members, edge_pairs = decode_quotient_arrays(
+            node_order, arrays["class_of"], nclasses, arrays["gr_edges"]
+        )
+        sccs = arrays["scc_of"]
+        if sccs and (min(sccs) < 0 or max(sccs) >= len(node_order)):
+            # there are at most |V| SCCs; anything else is another graph's map
+            raise ValueError("persisted SCC ids out of range")
+        if not set(arrays["cyclic_sccs"]) <= set(sccs):
+            # a cyclic SCC has members, so its id must appear in scc_of
+            raise ValueError("persisted cyclic SCC ids not among the SCC ids")
+        gr = DiGraph()
+        for cid in range(nclasses):
+            gr.add_node(cid, DEFAULT_LABEL)
+        for ci, cj in edge_pairs:
+            gr.add_edge(ci, cj)
+        scc_of = dict(zip(node_order, arrays["scc_of"]))
+        size = arrays.get("scc_graph_size")
+        return cls(
+            compressed=gr,
+            class_of=class_of,
+            class_members=class_members,
+            scc_of=scc_of,
+            cyclic_scc=frozenset(arrays["cyclic_sccs"]),
+            original_nodes=arrays["stats"][0],
+            original_edges=arrays["stats"][1],
+            scc_graph_size=size[0] if size else None,
+        )
 
     def canonical_form(self) -> Tuple:
         """Fully-ordered rendering of the whole artifact, for equality tests.
@@ -217,7 +290,16 @@ def compress_reachability(
 
 def _compress_reachability_csr(graph: DiGraph) -> ReachabilityCompression:
     """``compressR`` over the frozen CSR backend (integer kernels)."""
-    csr = CSRGraph.from_digraph(graph)
+    return compress_reachability_csr(CSRGraph.from_digraph(graph))
+
+
+def compress_reachability_csr(csr: CSRGraph) -> ReachabilityCompression:
+    """``compressR`` on an already-frozen graph (no dict backend involved).
+
+    The entry point for snapshot consumers — the :mod:`repro.store` catalog
+    loads a ``CSRGraph`` straight from disk and compresses it here; output
+    is byte-identical to ``compress_reachability(thawed, backend="csr")``.
+    """
     quotient = reachability_quotient(csr)
 
     gr = DiGraph()
@@ -247,8 +329,8 @@ def _compress_reachability_csr(graph: DiGraph) -> ReachabilityCompression:
         class_members=class_members,
         scc_of=scc_of,
         cyclic_scc=cyclic,
-        original_nodes=graph.order(),
-        original_edges=graph.size(),
+        original_nodes=csr.n,
+        original_edges=csr.m,
         scc_graph_size=cond.graph_size(),
     )
 

@@ -27,7 +27,7 @@ The two backends split responsibilities:
 from __future__ import annotations
 
 from array import array
-from typing import Dict, Hashable, List
+from typing import Dict, Hashable, List, NamedTuple, Tuple
 
 from repro.graph.digraph import DiGraph, NodeIndexer
 
@@ -36,6 +36,57 @@ Node = Hashable
 #: Array typecode for node ids / offsets.  ``q`` (signed 64-bit) keeps the
 #: layout predictable across platforms; graphs here are far below 2^63.
 ID_TYPECODE = "q"
+
+
+class CSRBuffers(NamedTuple):
+    """The complete frozen state of a :class:`CSRGraph`, as plain lists.
+
+    The snapshot codec (:mod:`repro.store.format`) serialises exactly these
+    buffers; :meth:`CSRGraph.from_buffers` adopts them back.  Everything is
+    canonical — node insertion order, sorted adjacency rows, first-appearance
+    label codes — so two equal graphs always export equal buffers.
+    """
+
+    n: int
+    m: int
+    indptr: List[int]
+    indices: List[int]
+    rindptr: List[int]
+    rindices: List[int]
+    label_codes: List[int]
+    label_names: List[str]
+    nodes: List[Node]
+
+
+def reverse_from_forward(
+    n: int, indptr: List[int], indices: List[int]
+) -> Tuple[List[int], List[int]]:
+    """Counting-sort a forward CSR into its reverse counterpart.
+
+    A forward scan in ascending source order leaves each predecessor segment
+    already sorted; shared by :meth:`CSRGraph.from_digraph`, the snapshot
+    loader and the delta-merge path.
+    """
+    m = len(indices)
+    rdeg = [0] * n
+    for j in indices:
+        rdeg[j] += 1
+    rindptr = [0] * (n + 1)
+    total = 0
+    for j in range(n):
+        rindptr[j] = total
+        total += rdeg[j]
+    rindptr[n] = total
+    fill = rindptr[:n]
+    rindices = [0] * m
+    start = 0
+    for i in range(n):
+        end = indptr[i + 1]
+        for j in indices[start:end]:
+            rindices[fill[j]] = i
+            fill[j] += 1
+        start = end
+    return rindptr, rindices
 
 
 class CSRGraph:
@@ -80,6 +131,7 @@ class CSRGraph:
         "_rev_lists",
         "_label_list",
         "_arrays",
+        "_digest",
     )
 
     def __init__(
@@ -108,6 +160,7 @@ class CSRGraph:
         self._rev_lists = (rindptr, rindices)
         self._label_list = label_codes
         self._arrays: dict = {}
+        self._digest: str = ""
 
     # ------------------------------------------------------------------
     # Construction
@@ -139,27 +192,7 @@ class CSRGraph:
             pos += len(row)
             indptr_list[i + 1] = pos
 
-        # Reverse adjacency by counting sort over the flat forward list; a
-        # forward scan in ascending source order leaves each predecessor
-        # segment already sorted.
-        rdeg = [0] * n
-        for j in flat:
-            rdeg[j] += 1
-        rindptr_list = [0] * (n + 1)
-        total = 0
-        for j in range(n):
-            rindptr_list[j] = total
-            total += rdeg[j]
-        rindptr_list[n] = total
-        fill = rindptr_list[:n]
-        rflat = [0] * m
-        start = 0
-        for i in range(n):
-            end = indptr_list[i + 1]
-            for j in flat[start:end]:
-                rflat[fill[j]] = i
-                fill[j] += 1
-            start = end
+        rindptr_list, rflat = reverse_from_forward(n, indptr_list, flat)
 
         label_names: List[str] = []
         label_code: Dict[str, int] = {}
@@ -185,6 +218,85 @@ class CSRGraph:
             label_names=label_names,
             indexer=indexer,
         )
+
+    @classmethod
+    def from_buffers(cls, buffers: CSRBuffers) -> "CSRGraph":
+        """Adopt a :class:`CSRBuffers` export (lists are *not* copied)."""
+        return cls(
+            n=buffers.n,
+            m=buffers.m,
+            indptr=buffers.indptr,
+            indices=buffers.indices,
+            rindptr=buffers.rindptr,
+            rindices=buffers.rindices,
+            label_codes=buffers.label_codes,
+            label_names=buffers.label_names,
+            indexer=NodeIndexer(buffers.nodes),
+        )
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def buffers(self) -> CSRBuffers:
+        """The frozen state as plain buffers (shared, not copied)."""
+        return CSRBuffers(
+            n=self.n,
+            m=self.m,
+            indptr=self._fwd_lists[0],
+            indices=self._fwd_lists[1],
+            rindptr=self._rev_lists[0],
+            rindices=self._rev_lists[1],
+            label_codes=self._label_list,
+            label_names=self.label_names,
+            nodes=self.indexer.node_order(),
+        )
+
+    def digest(self) -> str:
+        """Stable hex content digest of the frozen graph.
+
+        SHA-256 over the canonical snapshot body (:mod:`repro.store.format`),
+        so it is identical across processes, platforms, hash seeds, and for
+        any two construction paths that freeze the same graph.  Cached after
+        the first call; the graph is immutable.
+        """
+        return self.content_identity()[0]
+
+    def content_identity(self):
+        """``(digest, body_or_None)`` — the body only when this call paid
+        for encoding it.
+
+        Consumers that also need the canonical bytes (the catalog writes
+        them to disk right after digesting) get them for free on the first
+        computation instead of encoding twice; a memoised hit returns
+        ``(digest, None)``.
+        """
+        if self._digest:
+            return self._digest, None
+        from repro.store.format import digest_and_body
+
+        self._digest, body = digest_and_body(self)
+        return self._digest, body
+
+    def to_digraph(self) -> DiGraph:
+        """Thaw back into a mutable :class:`DiGraph`.
+
+        Nodes are inserted in indexer order and labels preserved, so
+        ``CSRGraph.from_digraph(csr.to_digraph())`` reproduces *csr*
+        buffer-for-buffer — the round-trip contract the snapshot loader and
+        the bench snapshot cache rely on.
+        """
+        g = DiGraph()
+        node_of = self.indexer.node
+        label_names = self.label_names
+        codes = self._label_list
+        for i in range(self.n):
+            g.add_node(node_of(i), label_names[codes[i]])
+        indptr, indices = self._fwd_lists
+        for i in range(self.n):
+            u = node_of(i)
+            for ei in range(indptr[i], indptr[i + 1]):
+                g.add_edge(u, node_of(indices[ei]))
+        return g
 
     # ------------------------------------------------------------------
     # Kernel mirrors
@@ -239,6 +351,10 @@ class CSRGraph:
     def node_of(self, i: int) -> Node:
         """Original node behind integer id *i*."""
         return self.indexer.node(i)
+
+    def node_order(self) -> List[Node]:
+        """Original nodes in id order (shared list — do not mutate)."""
+        return self.indexer.node_order()
 
     def id_of(self, v: Node) -> int:
         """Integer id of original node *v*."""

@@ -330,6 +330,18 @@ class NodeIndexer:
     def nodes(self) -> List[Node]:
         return list(self._nodes)
 
+    def node_order(self) -> List[Node]:
+        """The internal ordered node list (shared — do not mutate).
+
+        The copy-free companion of :meth:`nodes` for read-only consumers
+        (the snapshot codec, catalog and match context iterate it per node).
+        """
+        return self._nodes
+
+    def index_map(self) -> Dict[Node, int]:
+        """A copy of the node → dense-id mapping."""
+        return dict(self._index)
+
     def indices(self, nodes: Iterable[Node]) -> List[int]:
         return [self._index[v] for v in nodes]
 

@@ -1,34 +1,98 @@
 """Graph serialisation.
 
-Two formats:
+Three formats behind one extension-dispatched registry
+(:func:`write_graph` / :func:`read_graph`):
 
 * an edge-list text format compatible with the SNAP files the paper uses
   (``u<TAB>v`` per line, ``#`` comments) extended with optional
-  ``v<TAB>label`` node lines in a ``#!labels`` section;
-* a JSON format that round-trips labels exactly.
+  ``v<TAB>label`` node lines in a ``#!labels`` section — tokens are
+  backslash-escaped so labels and node ids containing tabs, newlines,
+  carriage returns, ``#`` or backslashes round-trip exactly;
+* a JSON format that round-trips labels exactly;
+* the ``repro.store`` binary snapshot format (``.rgs``), which freezes to
+  CSR on write and thaws on read.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
+from typing import Callable, Dict, NamedTuple, Union
 
 from repro.graph.digraph import DEFAULT_LABEL, DiGraph
 
 PathLike = Union[str, Path]
 
+# ----------------------------------------------------------------------
+# Token escaping (edge-list format)
+# ----------------------------------------------------------------------
+#: Characters that would corrupt the line/field structure of the edge-list
+#: format: the field separator, record separators, the comment marker, and
+#: the escape character itself.  ``\s`` protects a boundary space from the
+#: reader's whitespace normalisation; ``\e`` encodes the empty token.
+_ESCAPES = {"\\": "\\\\", "\t": "\\t", "\n": "\\n", "\r": "\\r", "#": "\\#"}
+_UNESCAPES = {"\\": "\\", "t": "\t", "n": "\n", "r": "\r", "#": "#", "s": " ", "e": ""}
 
+
+def escape_token(text: str) -> str:
+    """Escape a node id or label for one edge-list field.
+
+    The writer marks its files with an ``#!escaped`` line; the reader only
+    unescapes when it sees the marker, so legacy and third-party files
+    whose tokens contain literal backslashes load verbatim.
+    """
+    if not text:
+        return "\\e"
+    if any(ch in _ESCAPES for ch in text):
+        text = "".join(_ESCAPES.get(ch, ch) for ch in text)
+    # Boundary spaces would be eaten by the reader's line.strip(); escape
+    # just those (interior spaces are safe mid-line).
+    if text[0] == " ":
+        text = "\\s" + text[1:]
+    if text[-1] == " ":
+        text = text[:-1] + "\\s"
+    return text
+
+
+def unescape_token(text: str) -> str:
+    """Inverse of :func:`escape_token`; rejects malformed escapes."""
+    if "\\" not in text:
+        return text
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch != "\\":
+            out.append(ch)
+            i += 1
+            continue
+        if i + 1 >= n or text[i + 1] not in _UNESCAPES:
+            raise ValueError(f"malformed escape in edge-list token {text!r}")
+        out.append(_UNESCAPES[text[i + 1]])
+        i += 2
+    return "".join(out)
+
+
+# ----------------------------------------------------------------------
+# Edge-list format
+# ----------------------------------------------------------------------
 def write_edge_list(graph: DiGraph, path: PathLike) -> None:
-    """Write ``graph`` in SNAP-style edge-list format with a label section."""
+    """Write ``graph`` in SNAP-style edge-list format with a label section.
+
+    Every field is escaped, so labels (and stringified node ids) containing
+    tabs, newlines or ``#`` survive the round trip instead of splitting the
+    line or reading back as a comment.
+    """
     p = Path(path)
     with p.open("w", encoding="utf-8") as fh:
         fh.write(f"# nodes {graph.order()} edges {graph.size()}\n")
+        fh.write("#!escaped\n")
         for u, v in graph.edges():
-            fh.write(f"{u}\t{v}\n")
+            fh.write(f"{escape_token(str(u))}\t{escape_token(str(v))}\n")
         fh.write("#!labels\n")
         for v in graph.nodes():
-            fh.write(f"{v}\t{graph.label(v)}\n")
+            fh.write(f"{escape_token(str(v))}\t{escape_token(graph.label(v))}\n")
 
 
 def read_edge_list(path: PathLike) -> DiGraph:
@@ -36,34 +100,64 @@ def read_edge_list(path: PathLike) -> DiGraph:
 
     Plain SNAP files (no label section) load fine; all labels default to the
     dummy label.  Node ids are kept as strings unless they parse as ints.
-    """
+    Labeled nodes without edges are restored by the label section.
 
-    def parse(token: str):
-        try:
-            return int(token)
-        except ValueError:
-            return token
+    Backslash escapes are interpreted only in files carrying the
+    ``#!escaped`` marker the writer emits — a legacy or third-party file
+    whose tokens contain literal backslashes (``C:\\temp``) loads
+    verbatim.  One caveat inherited from SNAP conventions remains: each
+    line is whitespace-stripped, so boundary spaces survive only in
+    escaped files (the ``\\s`` form).
+    """
 
     g = DiGraph()
     in_labels = False
+    escaped = False
+
+    def parse(token: str):
+        if escaped:
+            token = unescape_token(token)
+        # Coerce only canonical int renderings: int() also accepts " 5",
+        # "+7", "07", "1_0", which must stay strings or distinct string
+        # node ids would silently collapse onto int nodes.
+        try:
+            value = int(token)
+        except ValueError:
+            return token
+        return value if str(value) == token else token
+
     with Path(path).open("r", encoding="utf-8") as fh:
         for line in fh:
-            line = line.strip()
+            # Strip only the whitespace the escaping layer guards (space
+            # via \s; tab/CR/LF always escaped): NBSP, vertical tab and
+            # other Unicode whitespace belong to the token and survive.
+            line = line.strip(" \t\n\r")
             if not line:
                 continue
             if line.startswith("#!labels"):
                 in_labels = True
                 continue
+            if line.startswith("#!escaped"):
+                escaped = True
+                continue
             if line.startswith("#"):
                 continue
             parts = line.split("\t")
             if in_labels:
-                g.set_label(parse(parts[0]), parts[1] if len(parts) > 1 else DEFAULT_LABEL)
+                raw = parts[1] if len(parts) > 1 else None
+                if raw is None:
+                    label = DEFAULT_LABEL
+                else:
+                    label = unescape_token(raw) if escaped else raw
+                g.set_label(parse(parts[0]), label)
             else:
                 g.add_edge(parse(parts[0]), parse(parts[1]))
     return g
 
 
+# ----------------------------------------------------------------------
+# JSON format
+# ----------------------------------------------------------------------
 def write_json(graph: DiGraph, path: PathLike) -> None:
     """Write ``graph`` as JSON with exact label round-tripping."""
     payload = {
@@ -86,3 +180,71 @@ def read_json(path: PathLike) -> DiGraph:
     for u_repr, v_repr in payload["edges"]:
         g.add_edge(u_repr, v_repr)
     return g
+
+
+# ----------------------------------------------------------------------
+# Binary snapshot format (repro.store)
+# ----------------------------------------------------------------------
+def _write_snapshot(graph: DiGraph, path: PathLike) -> None:
+    from repro.graph.csr import CSRGraph
+    from repro.store.format import save_snapshot
+
+    save_snapshot(CSRGraph.from_digraph(graph), path)
+
+
+def _read_snapshot(path: PathLike) -> DiGraph:
+    from repro.store.format import load_snapshot
+
+    return load_snapshot(path).to_digraph()
+
+
+# ----------------------------------------------------------------------
+# Format registry
+# ----------------------------------------------------------------------
+class GraphFormat(NamedTuple):
+    writer: Callable[[DiGraph, PathLike], None]
+    reader: Callable[[PathLike], DiGraph]
+    description: str
+
+
+FORMATS: Dict[str, GraphFormat] = {}
+
+
+def register_format(
+    extension: str,
+    writer: Callable[[DiGraph, PathLike], None],
+    reader: Callable[[PathLike], DiGraph],
+    description: str = "",
+) -> None:
+    """Register a serialisation format under a file extension (``.ext``)."""
+    if not extension.startswith("."):
+        raise ValueError(f"extension must start with '.': {extension!r}")
+    FORMATS[extension.lower()] = GraphFormat(writer, reader, description)
+
+
+register_format(".txt", write_edge_list, read_edge_list, "SNAP-style edge list")
+register_format(".edges", write_edge_list, read_edge_list, "SNAP-style edge list")
+register_format(".snap", write_edge_list, read_edge_list, "SNAP-style edge list")
+register_format(".json", write_json, read_json, "JSON nodes/edges")
+register_format(".rgs", _write_snapshot, _read_snapshot, "binary CSR snapshot")
+
+
+def _format_for(path: PathLike) -> GraphFormat:
+    suffix = Path(path).suffix.lower()
+    try:
+        return FORMATS[suffix]
+    except KeyError:
+        known = ", ".join(sorted(FORMATS))
+        raise ValueError(
+            f"no graph format registered for {suffix!r} (known: {known})"
+        ) from None
+
+
+def write_graph(graph: DiGraph, path: PathLike) -> None:
+    """Write *graph* in the format implied by the file extension."""
+    _format_for(path).writer(graph, path)
+
+
+def read_graph(path: PathLike) -> DiGraph:
+    """Read a graph in the format implied by the file extension."""
+    return _format_for(path).reader(path)

@@ -41,7 +41,10 @@ class IncrementalMatcher:
     def __init__(self, pattern: GraphPattern, graph: DiGraph) -> None:
         self._pattern = pattern
         self._graph = graph.copy()
-        self._context = MatchContext(self._graph)
+        # The dict backend is the right context here: this is the *mutable*
+        # path, and the csr backend would re-freeze the whole graph on every
+        # star-closure rebuild after a non-redundant update.
+        self._context = MatchContext(self._graph, backend="dict")
         self._bounds = [b for b in pattern.bounds_used() if b != STAR]
         self._uses_star = STAR in pattern.bounds_used()
         self._result: MatchResult = match(pattern, self._graph, self._context)

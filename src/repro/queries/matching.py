@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, List, Optional, Set
 
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph, NodeIndexer
 from repro.graph.scc import condensation
 from repro.graph.traversal import bfs_distances, topological_order
@@ -40,25 +41,95 @@ Node = Hashable
 MatchResult = Dict[Node, Set[Node]]
 
 
+def _snapshot_matches(csr: CSRGraph, graph: DiGraph) -> bool:
+    """Best-effort check that *csr* is a freeze of *graph*.
+
+    O(n), no per-edge hashing (that cost is exactly what adopting a
+    snapshot avoids): edge count, node list, every node's label and every
+    node's out- *and* in-degree must agree.  This catches wrong-file
+    confusion, relabeling, and any edge delta that shifts a degree in
+    either direction (a single rewire ``u→a ⇒ u→b`` keeps u's out-degree
+    but moves an in-degree); an adversarial rewire preserving all degrees
+    is the caller's responsibility (compare ``csr.digest()`` when in
+    doubt).
+    """
+    if csr.m != graph.size() or csr.node_order() != graph.node_list():
+        return False
+    indptr = csr.fwd()[0]
+    rindptr = csr.rev()[0]
+    successors = graph.successors
+    predecessors = graph.predecessors
+    label_names = csr.label_names
+    codes = csr.label_codes()
+    graph_label = graph.label
+    return all(
+        indptr[i + 1] - indptr[i] == len(successors(v))
+        and rindptr[i + 1] - rindptr[i] == len(predecessors(v))
+        and label_names[codes[i]] == graph_label(v)
+        for i, v in enumerate(csr.node_order())
+    )
+
+
 class MatchContext:
     """Per-graph cache of candidate and reachability bitsets.
 
     Build one per data graph and pass it to repeated :func:`match` calls;
     the benchmarks rely on this to evaluate hundreds of patterns without
     recomputing closures.
+
+    ``backend="csr"`` (default) freezes the graph once (lazily, or adopts a
+    pre-frozen/snapshot-loaded *csr*) and builds candidate and adjacency
+    bitsets from the frozen label/adjacency arrays — no per-node hashing.
+    ``backend="dict"`` is the original dict-of-sets path, kept as the
+    cross-validation reference; both produce identical bitsets because the
+    frozen integer ids coincide with the indexer's insertion-order ids.
     """
 
-    def __init__(self, graph: DiGraph) -> None:
+    def __init__(
+        self,
+        graph: DiGraph,
+        csr: Optional[CSRGraph] = None,
+        backend: str = "csr",
+    ) -> None:
+        if backend not in ("csr", "dict"):
+            raise ValueError(f"unknown backend: {backend!r} (expected 'csr' or 'dict')")
+        if csr is not None and backend != "csr":
+            raise ValueError("a pre-frozen csr snapshot requires backend='csr'")
+        if csr is not None and not _snapshot_matches(csr, graph):
+            raise ValueError("csr snapshot does not match the graph")
         self.graph = graph
-        self.indexer = NodeIndexer(graph.node_list())
+        self.backend = backend
+        self.indexer = csr.indexer if csr is not None else NodeIndexer(graph.node_list())
+        self._csr = csr
         self._adjacency: Optional[Dict[Node, int]] = None
         self._bounded: Dict[int, Dict[Node, int]] = {}
         self._star: Optional[Dict[Node, int]] = None
         self._label_bits: Dict[str, int] = {}
+        self._label_masks: Optional[Dict[str, int]] = None
+
+    # -- frozen snapshot --------------------------------------------------
+    def frozen(self) -> CSRGraph:
+        """The freeze-once CSR snapshot backing the fast paths (lazy)."""
+        if self._csr is None:
+            self._csr = CSRGraph.from_digraph(self.graph)
+        return self._csr
 
     # -- candidates ------------------------------------------------------
     def label_candidates(self, label: str) -> int:
         """Bitset of data nodes carrying *label*."""
+        if self.backend == "csr":
+            # One cache only: a single pass over the frozen label-code array
+            # builds every label's candidate bitset at once; _label_bits
+            # stays the dict backend's per-label cache.
+            masks = self._label_masks
+            if masks is None:
+                csr = self.frozen()
+                by_code = [0] * len(csr.label_names)
+                for i, code in enumerate(csr.label_codes()):
+                    by_code[code] |= 1 << i
+                masks = dict(zip(csr.label_names, by_code))
+                self._label_masks = masks
+            return masks.get(label, 0)
         cached = self._label_bits.get(label)
         if cached is None:
             cached = self.indexer.bitset(self.graph.nodes_with_label(label))
@@ -69,10 +140,23 @@ class MatchContext:
     def adjacency_bitsets(self) -> Dict[Node, int]:
         """``reach_1``: successor bitsets."""
         if self._adjacency is None:
-            self._adjacency = {
-                v: self.indexer.bitset(self.graph.successors(v))
-                for v in self.graph.nodes()
-            }
+            if self.backend == "csr":
+                csr = self.frozen()
+                indptr, indices = csr.fwd()
+                bits = [1 << i for i in range(csr.n)]
+                node_of = self.indexer.node
+                adjacency: Dict[Node, int] = {}
+                for i in range(csr.n):
+                    mask = 0
+                    for ei in range(indptr[i], indptr[i + 1]):
+                        mask |= bits[indices[ei]]
+                    adjacency[node_of(i)] = mask
+                self._adjacency = adjacency
+            else:
+                self._adjacency = {
+                    v: self.indexer.bitset(self.graph.successors(v))
+                    for v in self.graph.nodes()
+                }
         return self._adjacency
 
     def bounded_reach(self, bound: int) -> Dict[Node, int]:
@@ -101,6 +185,15 @@ class MatchContext:
         """``reach_*``: strict descendants (nonempty paths), via condensation."""
         if self._star is not None:
             return self._star
+        if self.backend == "csr":
+            star = self._star_reach_csr()
+        else:
+            star = self._star_reach_dict()
+        self._star = star
+        return star
+
+    def _star_reach_dict(self) -> Dict[Node, int]:
+        """Reference implementation over the mutable dict backend."""
         cond = condensation(self.graph)
         full: Dict[int, int] = {
             s: self.indexer.bitset(members) for s, members in cond.members.items()
@@ -118,7 +211,41 @@ class MatchContext:
                 mask |= full[s]
             for v in members:
                 star[v] = mask
-        self._star = star
+        return star
+
+    def _star_reach_csr(self) -> Dict[Node, int]:
+        """Closure over the frozen condensation, exploiting that component
+        ids come out in reverse topological order (children before parents —
+        no explicit sort)."""
+        from repro.graph.kernels import csr_condensation
+
+        csr = self.frozen()
+        cond = csr_condensation(csr)
+        ncomp = cond.ncomp
+        comp_ptr, comp_nodes = cond.comp_ptr, cond.comp_nodes
+        indptr, indices = cond.indptr, cond.indices
+        full = [0] * ncomp
+        for c in range(ncomp):
+            mask = 0
+            for v in comp_nodes[comp_ptr[c] : comp_ptr[c + 1]]:
+                mask |= 1 << v
+            full[c] = mask
+        below = [0] * ncomp
+        for c in range(ncomp):  # ascending id = children already final
+            mask = 0
+            for ei in range(indptr[c], indptr[c + 1]):
+                d = indices[ei]
+                mask |= full[d] | below[d]
+            below[c] = mask
+        node_of = self.indexer.node
+        cyclic = cond.cyclic
+        star: Dict[Node, int] = {}
+        for c in range(ncomp):
+            mask = below[c]
+            if cyclic[c]:
+                mask |= full[c]
+            for v in comp_nodes[comp_ptr[c] : comp_ptr[c + 1]]:
+                star[node_of(v)] = mask
         return star
 
     def reach(self, bound: Bound) -> Dict[Node, int]:
@@ -127,6 +254,8 @@ class MatchContext:
     def invalidate(self) -> None:
         """Drop caches after the underlying graph changed."""
         self.indexer = NodeIndexer(self.graph.node_list())
+        self._csr = None
+        self._label_masks = None
         self._adjacency = None
         self._bounded.clear()
         self._star = None

@@ -1,0 +1,45 @@
+"""``repro.store`` — persistence layer for frozen graphs.
+
+Compress once, query forever: this subsystem keeps the frozen
+:class:`~repro.graph.csr.CSRGraph` snapshots and their compressed variants
+(``Gr`` from ``compressR``, ``Gb`` from ``compressB``) on disk so a query
+session never rebuilds them.
+
+* :mod:`repro.store.format` — versioned, checksummed binary snapshot codec
+  (varint + delta-gap adjacency); see ``FORMAT.md`` for the layout;
+* :mod:`repro.store.catalog` — content-addressed directory of base graphs
+  plus compressed variants with zero-recompute warm hits;
+* :mod:`repro.store.delta` — merge an edge delta into a snapshot without a
+  full rebuild (the incremental maintainers' periodic re-freeze).
+"""
+
+from repro.store.catalog import CatalogError, SnapshotCatalog
+from repro.store.delta import merge_deltas
+from repro.store.format import (
+    FORMAT_VERSION,
+    SnapshotError,
+    SnapshotFormatError,
+    SnapshotVersionError,
+    UnsupportedNodeError,
+    dump_bytes,
+    graph_digest,
+    load_bytes,
+    load_snapshot,
+    save_snapshot,
+)
+
+__all__ = [
+    "CatalogError",
+    "FORMAT_VERSION",
+    "SnapshotCatalog",
+    "SnapshotError",
+    "SnapshotFormatError",
+    "SnapshotVersionError",
+    "UnsupportedNodeError",
+    "dump_bytes",
+    "graph_digest",
+    "load_bytes",
+    "load_snapshot",
+    "merge_deltas",
+    "save_snapshot",
+]

@@ -1,0 +1,297 @@
+"""Compressed-variant catalog over the binary snapshot store.
+
+A :class:`SnapshotCatalog` is a directory of content-addressed entries:
+
+.. code-block:: text
+
+    <root>/
+      <digest>/                 sha256 of the base graph's canonical bytes
+        base.rgs                the frozen graph, binary snapshot format
+        meta.json               human-readable entry summary
+        variants/
+          reachability.rpv      compressR artifact (Gr + class/SCC maps)
+          bisimulation.rpv      compressB artifact (Gb + block map)
+
+``put`` freezes and stores a graph once; ``reachability`` / ``bisimulation``
+return the paper's compression artifacts, computing and persisting them on
+the first request (cold miss) and rehydrating them with **zero
+recomputation** on every later one (warm hit).  Rehydrated artifacts are
+byte-identical to a cold in-memory run — ``canonical_form()`` compares
+equal — because every persisted array is aligned to the base snapshot's
+canonical node order.
+
+This is the missing layer between "reproduce the paper" and the ROADMAP's
+production-serving target: a query session opens a catalog, gets ``Gr`` and
+``Gb`` back in milliseconds, and runs stock evaluators on them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.core.pattern import PatternCompression, compress_pattern_csr
+from repro.core.reachability import ReachabilityCompression, compress_reachability_csr
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraph
+from repro.store.format import (
+    FORMAT_VERSION,
+    HEADER_SIZE,
+    SnapshotError,
+    SnapshotVersionError,
+    _frame,
+    atomic_write_bytes,
+    decode_int_sections,
+    encode_body,
+    encode_int_sections,
+    load_bytes,
+    sweep_stale_tmp,
+)
+
+PathLike = Union[str, Path]
+GraphSource = Union[str, DiGraph, CSRGraph]
+
+_BASE_NAME = "base.rgs"
+_META_NAME = "meta.json"
+_VARIANT_SUFFIX = ".rpv"
+
+
+class CatalogError(SnapshotError):
+    """Lookup of a digest the catalog does not hold."""
+
+
+class SnapshotCatalog:
+    """Content-addressed store of frozen graphs and their compressions."""
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        sweep_stale_tmp(self.root, recursive=True)
+        # Per-process caches; the on-disk layout is the source of truth.
+        self._graphs: Dict[str, CSRGraph] = {}
+
+    # ------------------------------------------------------------------
+    # Entries
+    # ------------------------------------------------------------------
+    def _entry(self, digest: str) -> Path:
+        return self.root / digest
+
+    def digests(self) -> List[str]:
+        """All stored base-graph digests, sorted."""
+        return sorted(
+            p.name for p in self.root.iterdir()
+            if p.is_dir() and (p / _BASE_NAME).exists()
+        )
+
+    def __contains__(self, digest: str) -> bool:
+        return (self._entry(digest) / _BASE_NAME).exists()
+
+    def put(self, graph: Union[DiGraph, CSRGraph]) -> str:
+        """Store *graph* (frozen on the way in); returns its digest.
+
+        Idempotent: an existing entry is left untouched, so repeated puts
+        of the same content cost one encode + digest and no I/O.
+        """
+        csr = graph if isinstance(graph, CSRGraph) else CSRGraph.from_digraph(graph)
+        # content_identity() memoises the digest on the instance (repeated
+        # puts of the same frozen graph encode nothing) and hands back the
+        # body when it had to encode, so a cold store encodes exactly once.
+        digest, body = csr.content_identity()
+        entry = self._entry(digest)
+        base = entry / _BASE_NAME
+        if not base.exists():
+            if body is None:
+                body = encode_body(csr)
+            (entry / "variants").mkdir(parents=True, exist_ok=True)
+            meta = {
+                "format_version": FORMAT_VERSION,
+                "nodes": csr.n,
+                "edges": csr.m,
+                "labels": len(csr.label_names),
+            }
+            # Meta first: base.rgs is the entry-existence marker, so a crash
+            # between the two writes must not leave a meta-less entry that
+            # this exists() check would then never repair.
+            atomic_write_bytes(
+                entry / _META_NAME,
+                (json.dumps(meta, indent=2) + "\n").encode("utf-8"),
+            )
+            atomic_write_bytes(base, _frame(body))
+        self._graphs[digest] = csr
+        return digest
+
+    def base(self, digest: str) -> CSRGraph:
+        """The stored frozen graph behind *digest* (memoised per process)."""
+        cached = self._graphs.get(digest)
+        if cached is not None:
+            return cached
+        path = self._entry(digest) / _BASE_NAME
+        if not path.exists():
+            raise CatalogError(f"catalog has no entry {digest!r}")
+        data = path.read_bytes()
+        try:
+            csr = load_bytes(data)
+        except SnapshotVersionError as exc:
+            # A newer writer's data is intact, just unreadable here: refuse
+            # to serve it but never destroy it (mirroring the digest-mismatch
+            # branch below).
+            raise CatalogError(
+                f"entry {digest!r} was written by a newer format ({exc})"
+            ) from exc
+        except SnapshotError as exc:
+            # A corrupt base is provably not the content its digest names;
+            # drop it so the entry stops advertising itself and a later
+            # put() of the graph rewrites the file instead of skipping it.
+            path.unlink(missing_ok=True)
+            raise CatalogError(
+                f"entry {digest!r} had a corrupt base snapshot ({exc}); "
+                "it has been dropped — re-put the graph to repair"
+            ) from exc
+        body = data[HEADER_SIZE:]
+        actual = hashlib.sha256(body).hexdigest()
+        if actual != digest:
+            # Valid snapshot, wrong entry (renamed/mis-copied directory):
+            # the file is real content, so leave it alone, but refuse to
+            # serve it under a digest that is not its identity.
+            raise CatalogError(
+                f"entry {digest!r} holds a snapshot whose content digest is "
+                f"{actual!r} (renamed or mis-copied entry?)"
+            )
+        csr._digest = digest  # verified above — memoise without re-encoding
+        self._graphs[digest] = csr
+        return csr
+
+    def meta(self, digest: str) -> dict:
+        path = self._entry(digest) / _META_NAME
+        if not path.exists():
+            raise CatalogError(f"catalog has no entry {digest!r}")
+        return json.loads(path.read_text(encoding="utf-8"))
+
+    def _resolve(self, source: GraphSource) -> str:
+        """Digest of *source*, storing the graph first when it is one.
+
+        Hot callers should pass the digest (or the ``CSRGraph`` obtained
+        from :meth:`put`/:meth:`warm`, whose digest is memoised on the
+        instance): a ``DiGraph`` source pays a full freeze + body encode
+        on *every* call just to discover which entry it is.
+        """
+        if isinstance(source, str):
+            if source not in self:
+                raise CatalogError(f"catalog has no entry {source!r}")
+            return source
+        return self.put(source)
+
+    # ------------------------------------------------------------------
+    # Compressed variants
+    # ------------------------------------------------------------------
+    def _variant_path(self, digest: str, kind: str) -> Path:
+        return self._entry(digest) / "variants" / (kind + _VARIANT_SUFFIX)
+
+    #: Reserved section naming the base graph a variant belongs to, so a
+    #: variant file copied between entries (same |V| or not) can never
+    #: rehydrate against the wrong base.
+    _GUARD_SECTION = "__base_digest__"
+
+    def _write_variant(
+        self, path: Path, digest: str, arrays: Dict[str, List[int]]
+    ) -> None:
+        """Persist a variant; an unwritable catalog degrades to compute-only.
+
+        The artifact is already computed when this runs, so on a read-only
+        or permission-restricted catalog (a scenario the read path already
+        tolerates) the caller still returns it — only the cache write is
+        lost.
+        """
+        guarded = dict(arrays)
+        guarded[self._GUARD_SECTION] = list(bytes.fromhex(digest))
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            atomic_write_bytes(path, encode_int_sections(guarded))
+        except OSError:
+            pass
+
+    def _read_variant(
+        self, path: Path, digest: str
+    ) -> Tuple[Union[Dict[str, List[int]], None], bool]:
+        """Decode a variant file; returns ``(arrays_or_None, writable)``.
+
+        An unreadable file (corruption, permission or I/O errors) or one
+        whose embedded base digest does not match self-heals: the caller
+        recomputes from the intact base snapshot and rewrites the variant,
+        mirroring the bench snapshot cache's repair path.  A *newer-format*
+        file is also recomputed in memory, but ``writable`` comes back
+        False so an older tool sharing the catalog never overwrites the
+        newer tool's cache.
+        """
+        if not path.exists():
+            return None, True
+        try:
+            arrays = decode_int_sections(path.read_bytes())
+        except SnapshotVersionError:
+            return None, False  # newer writer's data: compute, don't clobber
+        except (SnapshotError, OSError):
+            return None, True
+        try:
+            guard = bytes(arrays.pop(self._GUARD_SECTION, []))
+        except ValueError:  # guard values outside 0..255: not a valid digest
+            return None, True
+        if guard.hex() != digest:
+            return None, True
+        return arrays, True
+
+    def has_variant(self, digest: str, kind: str) -> bool:
+        return self._variant_path(digest, kind).exists()
+
+    def reachability(self, source: GraphSource) -> ReachabilityCompression:
+        """``compressR`` artifact for *source* — cached across sessions.
+
+        Warm hit: ``Gr``, the class map, the SCC index and the stats are
+        rehydrated from the variant file.  Cold miss: computed from the
+        base snapshot with the CSR kernels, persisted, returned.
+        """
+        digest = self._resolve(source)
+        csr = self.base(digest)
+        path = self._variant_path(digest, "reachability")
+        arrays, writable = self._read_variant(path, digest)
+        if arrays is not None:
+            try:
+                return ReachabilityCompression.from_arrays(csr.node_order(), arrays)
+            except (KeyError, ValueError, IndexError):
+                pass  # malformed arrays from a buggy writer: recompute
+        comp = compress_reachability_csr(csr)
+        if writable:
+            self._write_variant(path, digest, comp.to_arrays(csr.node_order()))
+        return comp
+
+    def bisimulation(self, source: GraphSource) -> PatternCompression:
+        """``compressB`` artifact for *source* — cached across sessions.
+
+        Same warm/cold discipline as :meth:`reachability`; hypernode labels
+        are recovered from the base snapshot's label arrays.
+        """
+        digest = self._resolve(source)
+        csr = self.base(digest)
+        path = self._variant_path(digest, "bisimulation")
+        arrays, writable = self._read_variant(path, digest)
+        if arrays is not None:
+            labels = [csr.label(i) for i in range(csr.n)]
+            try:
+                return PatternCompression.from_arrays(csr.node_order(), labels, arrays)
+            except (KeyError, ValueError, IndexError):
+                pass  # malformed arrays from a buggy writer: recompute
+        comp = compress_pattern_csr(csr)
+        if writable:
+            self._write_variant(path, digest, comp.to_arrays(csr.node_order()))
+        return comp
+
+    def warm(self, source: GraphSource) -> str:
+        """Precompute and persist every variant of *source*; returns digest."""
+        digest = self._resolve(source)
+        self.reachability(digest)
+        self.bisimulation(digest)
+        return digest
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SnapshotCatalog({str(self.root)!r}, entries={len(self.digests())})"

@@ -1,0 +1,632 @@
+"""Binary snapshot format for frozen :class:`~repro.graph.csr.CSRGraph`.
+
+The paper's economics are *compress once, query forever* — but a query
+session that re-reads a text edge list, rebuilds dict adjacency and
+re-freezes to CSR pays the whole construction cost again on every start.
+This codec persists the frozen graph directly: loading reconstructs the
+CSR buffers without ever touching the dict backend.
+
+Layout (see ``FORMAT.md`` next to this module for the field-level spec):
+
+* fixed header — magic ``RPGS``, format version, flags, CRC-32 and byte
+  length of the body (truncation and corruption are detected before any
+  parsing);
+* body — unsigned-varint (LEB128) encoded sections: counts, the interned
+  label table, per-node label codes, the node-id table (tagged int / str /
+  tuple encoding), and both adjacency directions as *delta-gap* rows in
+  the spirit of WebGraph/Zuckerli: each sorted row stores its first target
+  absolutely and every subsequent one as ``gap - 1`` (rows are strictly
+  increasing, so gaps are ``>= 1`` and almost always fit one byte).
+
+Everything in the body is canonical (node insertion order, sorted rows,
+first-appearance label codes), so the body bytes double as the graph's
+content identity: :func:`graph_digest` is SHA-256 over them, and the
+catalog keys its directory layout by that digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+import tempfile
+import zlib
+from pathlib import Path
+from typing import Dict, Hashable, List, Tuple, Union
+
+from repro.graph.csr import CSRBuffers, CSRGraph, reverse_from_forward
+
+PathLike = Union[str, Path]
+Node = Hashable
+
+MAGIC = b"RPGS"
+#: Bump on any incompatible body change; loaders reject other versions.
+FORMAT_VERSION = 1
+#: Header: magic, version, flags, CRC-32 of body, body length.
+_HEADER = struct.Struct("<4sHHIQ")
+#: Byte offset where the body (= the digest-covered canonical bytes) starts.
+HEADER_SIZE = _HEADER.size
+
+#: Flag bit: the body carries the reverse adjacency section.  Writers always
+#: set it today; the loader rebuilds the reverse direction by counting sort
+#: when a future writer omits it.
+FLAG_REVERSE = 0x0001
+
+# Node-id table tags.
+_TAG_INT = 0
+_TAG_STR = 1
+_TAG_TUPLE = 2
+
+#: Maximum tuple-in-tuple nesting in node ids.  Real node ids nest a level
+#: or two; the bound keeps a crafted byte stream from driving the recursive
+#: decoder past the interpreter's recursion limit (which would surface as
+#: RecursionError instead of the SnapshotError the self-heal paths catch).
+MAX_NODE_DEPTH = 32
+
+# Section container (catalog variant files) magic.
+_SECTIONS_MAGIC = b"RPGV"
+
+
+class SnapshotError(Exception):
+    """Base error for unreadable snapshot files."""
+
+
+class SnapshotFormatError(SnapshotError):
+    """Magic mismatch, truncation, checksum failure, or malformed body."""
+
+
+class SnapshotVersionError(SnapshotError):
+    """The file is a snapshot, but of an unsupported format version."""
+
+
+class UnsupportedNodeError(SnapshotError):
+    """A node id is not representable (only int, str and tuples of those)."""
+
+
+# ----------------------------------------------------------------------
+# Varint primitives
+# ----------------------------------------------------------------------
+def _write_uvarint(out: bytearray, value: int) -> None:
+    """Append *value* (``>= 0``) as LEB128."""
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def _read_uvarint(data: bytes, pos: int) -> Tuple[int, int]:
+    """Decode one LEB128 varint; returns ``(value, next_pos)``."""
+    try:
+        b = data[pos]
+    except IndexError:
+        raise SnapshotFormatError("truncated varint") from None
+    pos += 1
+    if b < 0x80:
+        return b, pos
+    value = b & 0x7F
+    shift = 7
+    while True:
+        try:
+            b = data[pos]
+        except IndexError:
+            raise SnapshotFormatError("truncated varint") from None
+        pos += 1
+        if b < 0x80:
+            return value | (b << shift), pos
+        value |= (b & 0x7F) << shift
+        shift += 7
+
+
+def _zigzag(value: int) -> int:
+    return value * 2 if value >= 0 else -value * 2 - 1
+
+
+def _unzigzag(value: int) -> int:
+    return value // 2 if value % 2 == 0 else -(value + 1) // 2
+
+
+# ----------------------------------------------------------------------
+# Node-id table
+# ----------------------------------------------------------------------
+def _write_node(out: bytearray, node: Node, depth: int = 0) -> None:
+    if depth > MAX_NODE_DEPTH:
+        raise UnsupportedNodeError(
+            f"node id nests tuples deeper than {MAX_NODE_DEPTH}: {node!r}"
+        )
+    if isinstance(node, bool):  # bool is an int subclass; reject explicitly
+        raise UnsupportedNodeError(f"unsupported node id type: {node!r}")
+    if isinstance(node, int):
+        out.append(_TAG_INT)
+        _write_uvarint(out, _zigzag(node))
+    elif isinstance(node, str):
+        out.append(_TAG_STR)
+        raw = node.encode("utf-8")
+        _write_uvarint(out, len(raw))
+        out += raw
+    elif isinstance(node, tuple):
+        out.append(_TAG_TUPLE)
+        _write_uvarint(out, len(node))
+        for item in node:
+            _write_node(out, item, depth + 1)
+    else:
+        raise UnsupportedNodeError(
+            f"unsupported node id type {type(node).__name__!r}: {node!r} "
+            "(snapshots encode int, str and tuples of those)"
+        )
+
+
+def _read_node(data: bytes, pos: int, depth: int = 0) -> Tuple[Node, int]:
+    if depth > MAX_NODE_DEPTH:
+        raise SnapshotFormatError(
+            f"node table nests tuples deeper than {MAX_NODE_DEPTH}"
+        )
+    try:
+        tag = data[pos]
+    except IndexError:
+        raise SnapshotFormatError("truncated node table") from None
+    pos += 1
+    if tag == _TAG_INT:
+        value, pos = _read_uvarint(data, pos)
+        return _unzigzag(value), pos
+    if tag == _TAG_STR:
+        length, pos = _read_uvarint(data, pos)
+        end = pos + length
+        if end > len(data):
+            raise SnapshotFormatError("truncated node table")
+        return data[pos:end].decode("utf-8"), end
+    if tag == _TAG_TUPLE:
+        length, pos = _read_uvarint(data, pos)
+        items = []
+        for _ in range(length):
+            item, pos = _read_node(data, pos, depth + 1)
+            items.append(item)
+        return tuple(items), pos
+    raise SnapshotFormatError(f"unknown node tag {tag}")
+
+
+# ----------------------------------------------------------------------
+# Body codec
+# ----------------------------------------------------------------------
+def _write_adjacency(out: bytearray, n: int, indptr: List[int], indices: List[int]) -> None:
+    """Delta-gap encode one adjacency direction.
+
+    Per row: degree, absolute first target, then ``gap - 1`` per further
+    target (rows are strictly increasing).
+    """
+    write = _write_uvarint
+    for i in range(n):
+        start, end = indptr[i], indptr[i + 1]
+        write(out, end - start)
+        prev = -1
+        for ei in range(start, end):
+            j = indices[ei]
+            if prev < 0:
+                write(out, j)
+            else:
+                write(out, j - prev - 1)
+            prev = j
+
+
+def _read_adjacency(
+    data: bytes, pos: int, n: int, m: int
+) -> Tuple[List[int], List[int], int]:
+    """Decode one adjacency direction; returns ``(indptr, indices, pos)``.
+
+    This is the load hot loop: the varint reads are inlined (a function
+    call per edge would cost more than the decode), truncation surfaces as
+    one ``IndexError`` per section instead of a bounds check per byte, and
+    the out-of-range guard runs once per row — gaps only ever increase the
+    running target, so the last target of a row is its maximum.
+    """
+    indptr = [0] * (n + 1)
+    indices: List[int] = []
+    append = indices.append
+    total = 0
+    try:
+        for i in range(n):
+            # degree varint
+            b = data[pos]
+            pos += 1
+            if b < 0x80:
+                deg = b
+            else:
+                deg = b & 0x7F
+                shift = 7
+                while True:
+                    b = data[pos]
+                    pos += 1
+                    if b < 0x80:
+                        deg |= b << shift
+                        break
+                    deg |= (b & 0x7F) << shift
+                    shift += 7
+            total += deg
+            indptr[i + 1] = total
+            if not deg:
+                continue
+            # absolute first target
+            b = data[pos]
+            pos += 1
+            if b < 0x80:
+                prev = b
+            else:
+                prev = b & 0x7F
+                shift = 7
+                while True:
+                    b = data[pos]
+                    pos += 1
+                    if b < 0x80:
+                        prev |= b << shift
+                        break
+                    prev |= (b & 0x7F) << shift
+                    shift += 7
+            append(prev)
+            # Gap-encoded rest of the row.  Gaps on sparse graphs are
+            # one or two bytes in practice; both cases run branch-only,
+            # the >= 3-byte continuation loop is the cold tail.
+            for _ in range(deg - 1):
+                b = data[pos]
+                pos += 1
+                if b < 0x80:
+                    prev += b + 1
+                else:
+                    b2 = data[pos]
+                    pos += 1
+                    if b2 < 0x80:
+                        prev += ((b & 0x7F) | (b2 << 7)) + 1
+                    else:
+                        value = (b & 0x7F) | ((b2 & 0x7F) << 7)
+                        shift = 14
+                        while True:
+                            b = data[pos]
+                            pos += 1
+                            if b < 0x80:
+                                value |= b << shift
+                                break
+                            value |= (b & 0x7F) << shift
+                            shift += 7
+                        prev += value + 1
+                append(prev)
+            if prev >= n:
+                raise SnapshotFormatError("adjacency target out of range")
+    except IndexError:
+        raise SnapshotFormatError("truncated adjacency section") from None
+    if total != m:
+        raise SnapshotFormatError(
+            f"adjacency edge count mismatch: header says {m}, section has {total}"
+        )
+    return indptr, indices, pos
+
+
+def encode_body(csr: CSRGraph) -> bytes:
+    """The canonical body bytes of *csr* (header not included)."""
+    try:
+        return _encode_body(csr)
+    except UnicodeEncodeError as exc:
+        # Lone surrogates (surrogateescape-decoded input) in node ids or
+        # labels; keep the SnapshotError contract so save paths degrade
+        # instead of crashing.
+        raise UnsupportedNodeError(f"node id or label is not encodable: {exc}") from exc
+
+
+def _encode_body(csr: CSRGraph) -> bytes:
+    buf = csr.buffers()
+    out = bytearray()
+    _write_uvarint(out, buf.n)
+    _write_uvarint(out, buf.m)
+    _write_uvarint(out, len(buf.label_names))
+    for name in buf.label_names:
+        raw = name.encode("utf-8")
+        _write_uvarint(out, len(raw))
+        out += raw
+    for code in buf.label_codes:
+        _write_uvarint(out, code)
+    for node in buf.nodes:
+        _write_node(out, node)
+    _write_adjacency(out, buf.n, buf.indptr, buf.indices)
+    _write_adjacency(out, buf.n, buf.rindptr, buf.rindices)
+    return bytes(out)
+
+
+def decode_body(body: bytes, flags: int = FLAG_REVERSE) -> CSRGraph:
+    """Reconstruct a frozen graph from canonical body bytes."""
+    try:
+        return _decode_body(body, flags)
+    except UnicodeDecodeError as exc:
+        # Non-UTF-8 bytes in a label or node string from a foreign or buggy
+        # writer; keep the SnapshotError contract for the self-heal paths.
+        raise SnapshotFormatError(f"malformed string in snapshot body: {exc}") from exc
+
+
+def _decode_body(body: bytes, flags: int) -> CSRGraph:
+    pos = 0
+    n, pos = _read_uvarint(body, pos)
+    m, pos = _read_uvarint(body, pos)
+    nlabels, pos = _read_uvarint(body, pos)
+    label_names: List[str] = []
+    for _ in range(nlabels):
+        length, pos = _read_uvarint(body, pos)
+        end = pos + length
+        if end > len(body):
+            raise SnapshotFormatError("truncated label table")
+        label_names.append(body[pos:end].decode("utf-8"))
+        pos = end
+    # Label codes and the node table are per-node loops; the common cases
+    # (small codes, int/str ids) are inlined to skip a call per node.
+    label_codes: List[int] = []
+    code_append = label_codes.append
+    try:
+        for _ in range(n):
+            b = body[pos]
+            pos += 1
+            if b < 0x80:
+                code = b
+            else:
+                code, pos = _read_uvarint(body, pos - 1)
+            if code >= nlabels:
+                raise SnapshotFormatError("label code out of range")
+            code_append(code)
+    except IndexError:
+        raise SnapshotFormatError("truncated label codes") from None
+    nodes: List[Node] = []
+    node_append = nodes.append
+    try:
+        for _ in range(n):
+            tag = body[pos]
+            if tag == _TAG_INT:
+                b = body[pos + 1]
+                pos += 2
+                if b < 0x80:
+                    value = b
+                else:
+                    value, pos = _read_uvarint(body, pos - 1)
+                node_append(value // 2 if value % 2 == 0 else -(value + 1) // 2)
+            elif tag == _TAG_STR:
+                length = body[pos + 1]
+                pos += 2
+                if length >= 0x80:
+                    length, pos = _read_uvarint(body, pos - 1)
+                end = pos + length
+                if end > len(body):
+                    raise SnapshotFormatError("truncated node table")
+                node_append(body[pos:end].decode("utf-8"))
+                pos = end
+            else:
+                node, pos = _read_node(body, pos)
+                node_append(node)
+    except IndexError:
+        raise SnapshotFormatError("truncated node table") from None
+    indptr, indices, pos = _read_adjacency(body, pos, n, m)
+    if flags & FLAG_REVERSE:
+        rindptr, rindices, pos = _read_adjacency(body, pos, n, m)
+        # Cross-check the two directions: every node's stored in-degree must
+        # equal its in-degree counted from the forward section.  One O(m)
+        # pass catches accidental writer bugs whose reverse section
+        # describes a different edge set — which the CRC (it only proves
+        # the file is what the writer wrote) cannot.  A deliberately
+        # crafted degree-preserving mismatch still passes; full
+        # edge-by-edge verification would cost as much as rebuilding the
+        # reverse section outright, so provenance of untrusted files is
+        # the digest's job, not this guard's.
+        rdeg = [0] * n
+        for j in indices:
+            rdeg[j] += 1
+        for i in range(n):
+            if rindptr[i + 1] - rindptr[i] != rdeg[i]:
+                raise SnapshotFormatError(
+                    "reverse adjacency disagrees with the forward section"
+                )
+    else:
+        rindptr, rindices = reverse_from_forward(n, indptr, indices)
+    if pos != len(body):
+        raise SnapshotFormatError(f"{len(body) - pos} trailing bytes after body")
+    try:
+        return CSRGraph.from_buffers(
+            CSRBuffers(
+                n=n,
+                m=m,
+                indptr=indptr,
+                indices=indices,
+                rindptr=rindptr,
+                rindices=rindices,
+                label_codes=label_codes,
+                label_names=label_names,
+                nodes=nodes,
+            )
+        )
+    except ValueError as exc:
+        # NodeIndexer rejects duplicate ids; keep the SnapshotError contract
+        # so the self-heal paths (bench cache, catalog) can recover.
+        raise SnapshotFormatError(f"malformed snapshot body: {exc}") from exc
+
+
+def graph_digest(csr: CSRGraph) -> str:
+    """SHA-256 hex digest of the canonical body — the graph's content id."""
+    return digest_and_body(csr)[0]
+
+
+def digest_and_body(csr: CSRGraph) -> Tuple[str, bytes]:
+    """``(digest, body)`` in one encode, for callers that need both."""
+    body = encode_body(csr)
+    return hashlib.sha256(body).hexdigest(), body
+
+
+# ----------------------------------------------------------------------
+# Framing (shared by snapshot and variant files)
+# ----------------------------------------------------------------------
+def _frame(body: bytes, magic: bytes = MAGIC, flags: int = FLAG_REVERSE) -> bytes:
+    header = _HEADER.pack(magic, FORMAT_VERSION, flags, zlib.crc32(body), len(body))
+    return header + body
+
+
+def _unframe(
+    data: bytes,
+    magic: bytes = MAGIC,
+    allowed_flags: int = FLAG_REVERSE,
+    kind: str = "snapshot",
+) -> Tuple[bytes, int]:
+    """Validate a header; returns ``(body, flags)``.
+
+    One implementation for both file kinds so the validation discipline
+    (truncation, magic, exact version, unknown-feature-flag rejection,
+    CRC) cannot drift between them.
+    """
+    if len(data) < _HEADER.size:
+        raise SnapshotFormatError(f"file shorter than the {kind} header")
+    got_magic, version, flags, crc, body_len = _HEADER.unpack_from(data)
+    if got_magic != magic:
+        raise SnapshotFormatError(f"bad magic {got_magic!r} (expected {magic!r})")
+    if version != FORMAT_VERSION:
+        raise SnapshotVersionError(
+            f"{kind} format version {version} is not supported "
+            f"(this reader handles version {FORMAT_VERSION})"
+        )
+    if flags & ~allowed_flags:
+        # A future writer signalling a feature (e.g. entropy coding) this
+        # reader cannot decode; fail cleanly instead of misparsing a body
+        # whose CRC still checks out.
+        raise SnapshotVersionError(
+            f"{kind} uses unsupported feature flags 0x{flags & ~allowed_flags:x}"
+        )
+    body = data[_HEADER.size :]
+    if len(body) != body_len:
+        raise SnapshotFormatError(
+            f"truncated {kind}: header promises {body_len} body bytes, "
+            f"file has {len(body)}"
+        )
+    if zlib.crc32(body) != crc:
+        raise SnapshotFormatError(f"{kind} body failed its CRC-32 check")
+    return body, flags
+
+
+def dump_bytes(csr: CSRGraph) -> bytes:
+    """Serialise *csr* to snapshot bytes (header + body)."""
+    return _frame(encode_body(csr))
+
+
+def load_bytes(data: bytes) -> CSRGraph:
+    """Deserialise snapshot bytes back into a frozen graph."""
+    body, flags = _unframe(data)
+    return decode_body(body, flags)
+
+
+#: Temp-file marker; :func:`sweep_stale_tmp` removes leftovers after crashes.
+TMP_MARKER = ".rpgtmp-"
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> None:
+    """Write *data* to *path* via a same-directory temp file + rename.
+
+    An interrupted write must never leave a partial file behind: a
+    half-written snapshot would pass ``exists()`` checks forever (poisoning
+    the catalog and the bench snapshot cache) while failing its CRC on
+    every load.  ``mkstemp`` gives each writer — including threads of one
+    process — its own temp name; a hard kill can still orphan one, which
+    :func:`sweep_stale_tmp` cleans on the next directory open.
+    """
+    target = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=target.name + TMP_MARKER, dir=target.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp_name, target)
+    except BaseException:
+        Path(tmp_name).unlink(missing_ok=True)
+        raise
+
+
+#: A temp file younger than this is presumed to belong to a live writer in
+#: another process and is left alone by the sweep.
+_TMP_STALE_AFTER_SECONDS = 3600.0
+
+
+def sweep_stale_tmp(directory: PathLike, recursive: bool = False) -> None:
+    """Best-effort removal of orphaned atomic-write temp files.
+
+    Called when a catalog or cache directory is opened.  Only temps old
+    enough to be crash leftovers are removed — a fresh one may be another
+    process's in-flight atomic write (shared catalog directories are a
+    supported pattern), and unlinking it would make that writer's
+    ``os.replace`` fail.
+    """
+    import time
+
+    root = Path(directory)
+    pattern = f"*{TMP_MARKER}*"
+    cutoff = time.time() - _TMP_STALE_AFTER_SECONDS
+    try:
+        for stale in root.rglob(pattern) if recursive else root.glob(pattern):
+            try:
+                if stale.stat().st_mtime < cutoff:
+                    stale.unlink()
+            except OSError:
+                pass
+    except OSError:
+        pass
+
+
+def save_snapshot(csr: CSRGraph, path: PathLike) -> None:
+    """Write *csr* to *path* in the binary snapshot format (atomically)."""
+    atomic_write_bytes(path, dump_bytes(csr))
+
+
+def load_snapshot(path: PathLike) -> CSRGraph:
+    """Read a snapshot written by :func:`save_snapshot`."""
+    return load_bytes(Path(path).read_bytes())
+
+
+# ----------------------------------------------------------------------
+# Named integer sections (catalog variant payloads)
+# ----------------------------------------------------------------------
+def encode_int_sections(sections: Dict[str, List[int]]) -> bytes:
+    """Serialise named non-negative integer arrays (compression artifacts).
+
+    Same framing discipline as snapshots — magic, version, CRC — so variant
+    files are corruption-checked before any array is trusted.
+    """
+    out = bytearray()
+    _write_uvarint(out, len(sections))
+    for name, values in sections.items():
+        raw = name.encode("utf-8")
+        _write_uvarint(out, len(raw))
+        out += raw
+        _write_uvarint(out, len(values))
+        for value in values:
+            if value < 0:
+                raise ValueError(f"section {name!r} holds a negative value")
+            _write_uvarint(out, value)
+    return _frame(bytes(out), magic=_SECTIONS_MAGIC, flags=0)
+
+
+def decode_int_sections(data: bytes) -> Dict[str, List[int]]:
+    """Inverse of :func:`encode_int_sections`."""
+    body, _flags = _unframe(data, magic=_SECTIONS_MAGIC, allowed_flags=0, kind="variant")
+    try:
+        return _decode_int_sections_body(body)
+    except UnicodeDecodeError as exc:
+        raise SnapshotFormatError(f"malformed section name: {exc}") from exc
+
+
+def _decode_int_sections_body(body: bytes) -> Dict[str, List[int]]:
+    pos = 0
+    count, pos = _read_uvarint(body, pos)
+    sections: Dict[str, List[int]] = {}
+    for _ in range(count):
+        length, pos = _read_uvarint(body, pos)
+        end = pos + length
+        if end > len(body):
+            raise SnapshotFormatError("truncated section name")
+        name = body[pos:end].decode("utf-8")
+        pos = end
+        size, pos = _read_uvarint(body, pos)
+        values: List[int] = []
+        append = values.append
+        for _ in range(size):
+            value, pos = _read_uvarint(body, pos)
+            append(value)
+        sections[name] = values
+    if pos != len(body):
+        raise SnapshotFormatError("trailing bytes after sections")
+    return sections

@@ -16,7 +16,16 @@ from repro.graph.generators import (
     random_dag,
     union_disjoint,
 )
-from repro.graph.io import read_edge_list, read_json, write_edge_list, write_json
+from repro.graph.io import (
+    escape_token,
+    read_edge_list,
+    read_graph,
+    read_json,
+    unescape_token,
+    write_edge_list,
+    write_graph,
+    write_json,
+)
 from repro.graph.traversal import is_acyclic
 from repro.queries.reachability import ReachabilityQuery, evaluate_reachability
 
@@ -91,6 +100,15 @@ def test_plain_snap_file(tmp_path):
     assert set(g.edges()) == {(1, 2), (2, 3)}
 
 
+def test_unescaped_legacy_file_keeps_literal_backslashes(tmp_path):
+    """Files without the #!escaped marker load backslashes verbatim."""
+    path = tmp_path / "legacy.txt"
+    path.write_text("a\\tb\tc\n#!labels\na\\tb\tC:\\temp\n")
+    g = read_edge_list(path)
+    assert g.has_edge("a\\tb", "c")  # literal backslash-t, not a tab
+    assert g.label("a\\tb") == "C:\\temp"
+
+
 def test_json_roundtrip(tmp_path):
     g = gnm_random_graph(10, 25, num_labels=2, seed=8)
     path = tmp_path / "graph.json"
@@ -98,6 +116,88 @@ def test_json_roundtrip(tmp_path):
     back = read_json(path)
     assert back.order() == g.order() and back.size() == g.size()
     assert sorted(back.labels().values()) == sorted(g.labels().values())
+
+
+def test_edge_list_hostile_labels_roundtrip(tmp_path):
+    """Labels with tabs, newlines, CRs, leading # and backslashes survive."""
+    g = DiGraph()
+    g.add_edge("u", "v")
+    g.set_label("u", "tab\there")
+    g.set_label("v", "line\nbreak")
+    g.add_node("w", "#looks-like-comment")
+    g.add_node("x", "back\\slash\r")
+    g.add_node("#!labels", "sentinel-name")  # node named like the section marker
+    path = tmp_path / "hostile.txt"
+    write_edge_list(g, path)
+    back = read_edge_list(path)
+    assert back.structure_equal(g)
+
+
+def test_edge_list_labeled_isolated_node_survives_roundtrip(tmp_path):
+    """Regression: a labeled node with no edges must not be dropped."""
+    g = DiGraph()
+    g.add_edge(1, 2)
+    g.add_node(42, "LONELY")
+    g.add_node(43)  # isolated with the default label
+    path = tmp_path / "isolated.txt"
+    write_edge_list(g, path)
+    back = read_edge_list(path)
+    assert back.structure_equal(g)
+    assert back.label(42) == "LONELY"
+    assert back.has_node(43)
+
+
+def test_token_escaping_helpers():
+    for raw in ["plain", "a\tb", "x\ny", "#lead", "tr\\icky\\", "\t\n\r#\\",
+                " padded ", "  two  ", " ", ""]:
+        assert unescape_token(escape_token(raw)) == raw
+    assert escape_token("plain") == "plain"  # no-op stays allocation-free
+    with pytest.raises(ValueError):
+        unescape_token("bad\\q")
+    with pytest.raises(ValueError):
+        unescape_token("dangling\\")
+
+
+def test_edge_list_numeric_looking_string_ids_stay_strings(tmp_path):
+    """int() coercion must not collapse " 5"/"+7"/"07" onto int nodes."""
+    g = DiGraph()
+    g.add_edge(5, " 5")
+    g.add_edge("+7", "07")
+    path = tmp_path / "numericish.txt"
+    write_edge_list(g, path)
+    back = read_edge_list(path)
+    assert back.structure_equal(g)
+    assert back.has_node(5) and back.has_node(" 5")
+
+
+def test_edge_list_boundary_spaces_and_empty_labels(tmp_path):
+    """Boundary spaces and empty labels survive the reader's line.strip()."""
+    g = DiGraph()
+    g.add_edge(" lead", "trail ")
+    g.set_label(" lead", " spaced out ")
+    g.set_label("trail ", "")
+    path = tmp_path / "spaces.txt"
+    write_edge_list(g, path)
+    back = read_edge_list(path)
+    assert back.structure_equal(g)
+    assert back.label(" lead") == " spaced out "
+    assert back.label("trail ") == ""
+
+
+def test_format_registry_dispatch(tmp_path):
+    g = gnm_random_graph(12, 30, num_labels=2, seed=11)
+    for name in ["g.txt", "g.edges", "g.snap", "g.json", "g.rgs"]:
+        path = tmp_path / name
+        write_graph(g, path)
+        back = read_graph(path)
+        assert back.order() == g.order() and back.size() == g.size()
+    # .rgs and edge-list formats preserve structure exactly.
+    assert read_graph(tmp_path / "g.rgs").structure_equal(g)
+    assert read_graph(tmp_path / "g.txt").structure_equal(g)
+    with pytest.raises(ValueError):
+        write_graph(g, tmp_path / "g.unknown")
+    with pytest.raises(ValueError):
+        read_graph(tmp_path / "g.unknown")
 
 
 # ----------------------------------------------------------------------

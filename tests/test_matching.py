@@ -153,6 +153,69 @@ def test_context_graph_mismatch_rejected():
 
 
 # ----------------------------------------------------------------------
+# CSR-backed context (freeze-once candidate selection)
+# ----------------------------------------------------------------------
+def test_context_backends_build_identical_bitsets():
+    """csr and dict contexts agree bit-for-bit on every cached structure."""
+    for seed in range(6):
+        g = gnm_random_graph(20 + seed * 5, 60 + seed * 20, num_labels=3, seed=seed)
+        fast = MatchContext(g, backend="csr")
+        ref = MatchContext(g, backend="dict")
+        for label in sorted(g.label_set()) + ["NO_SUCH_LABEL"]:
+            assert fast.label_candidates(label) == ref.label_candidates(label)
+        assert fast.adjacency_bitsets() == ref.adjacency_bitsets()
+        assert fast.star_reach() == ref.star_reach()
+        assert fast.bounded_reach(3) == ref.bounded_reach(3)
+
+
+def test_match_identical_across_context_backends():
+    rng = random.Random(31)
+    for trial in range(10):
+        n = rng.randrange(8, 25)
+        g = gnm_random_graph(n, rng.randrange(8, min(90, n * (n - 1))), num_labels=3, seed=trial + 7)
+        q = random_pattern(g, rng.randrange(2, 5), rng.randrange(2, 6),
+                           max_bound=3, star_prob=0.3, seed=trial)
+        assert (
+            match(q, g, MatchContext(g, backend="csr"))
+            == match(q, g, MatchContext(g, backend="dict"))
+        )
+
+
+def test_context_accepts_prefrozen_snapshot():
+    from repro.graph.csr import CSRGraph
+
+    g = gnm_random_graph(15, 45, num_labels=2, seed=12)
+    csr = CSRGraph.from_digraph(g)
+    ctx = MatchContext(g, csr=csr)
+    assert ctx.frozen() is csr  # adopted, not re-frozen
+    q = random_pattern(g, 3, 3, max_bound=2, seed=4)
+    assert match(q, g, ctx) == match(q, g, MatchContext(g, backend="dict"))
+    with pytest.raises(ValueError):
+        MatchContext(gnm_random_graph(9, 9, seed=1), csr=csr)
+    stale = g.copy()
+    stale.add_edge(0, 1) if not g.has_edge(0, 1) else stale.remove_edge(0, 1)
+    with pytest.raises(ValueError):  # same |V|, different |E|: stale snapshot
+        MatchContext(stale, csr=csr)
+    relabeled = g.copy()
+    relabeled.set_label(0, "DIFFERENT")
+    with pytest.raises(ValueError):  # label-stale snapshot
+        MatchContext(relabeled, csr=csr)
+    # A single rewire keeps u's out-degree but moves an in-degree.
+    rewired = g.copy()
+    u = next(v for v in g.nodes() if g.out_degree(v) > 0)
+    a = next(iter(g.successors(u)))
+    b = next(v for v in g.nodes() if v != a and not g.has_edge(u, v) and v != u)
+    rewired.remove_edge(u, a)
+    rewired.add_edge(u, b)
+    with pytest.raises(ValueError):  # same |V|, |E| and out-degrees
+        MatchContext(rewired, csr=csr)
+    with pytest.raises(ValueError):  # snapshot only applies to the csr backend
+        MatchContext(g, csr=csr, backend="dict")
+    with pytest.raises(ValueError):
+        MatchContext(g, backend="warp")
+
+
+# ----------------------------------------------------------------------
 # Graph simulation (the bounds-1 special case)
 # ----------------------------------------------------------------------
 def test_simulation_equals_bound1_match_randomized():
