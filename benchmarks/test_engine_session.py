@@ -1,0 +1,33 @@
+"""Engine sessions — routed vs direct workloads (benchmark: routed batch)."""
+import warnings
+
+from conftest import report
+from repro.datasets.catalog import load
+from repro.datasets.patterns import random_pattern
+from repro.engine import GraphEngine
+from repro.queries.reachability import ReachabilityQuery
+
+
+def test_engine_routed_batch(benchmark, experiment_runner):
+    import random
+
+    g = load("socEpinions", seed=3, scale=0.4)
+    engine = GraphEngine(g)
+    rng = random.Random(5)
+    nodes = g.node_list()
+    workload = [
+        ReachabilityQuery(rng.choice(nodes), rng.choice(nodes)) for _ in range(50)
+    ] + [random_pattern(g, 3, 3, max_bound=2, seed=s) for s in range(3)]
+    engine.query_batch(workload)  # materialise representations up front
+
+    benchmark(lambda: engine.query_batch(workload))
+    result = experiment_runner("engine")
+    print()
+    print(result.to_text())
+    # Semantic identity checks gate; wall-clock session comparisons are
+    # informational here (the engine-smoke CI job owns the JSON gates).
+    for desc, ok in result.checks:
+        if "identical" in desc:
+            assert ok, desc
+        elif not ok:
+            warnings.warn(f"engine session speed check below target: {desc}")

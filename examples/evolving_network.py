@@ -1,9 +1,13 @@
 """Incremental maintenance on an evolving network (Section 5).
 
-Compresses a P2P overlay once, then streams edge update batches through
-``incRCM`` and ``incPCM``, verifying after each batch that the maintained
-compressed graphs answer queries exactly like freshly compressed ones —
-without ever recompressing from scratch.
+Opens a :class:`repro.GraphEngine` session on a P2P overlay, then streams
+edge update batches through ``engine.apply`` — which drives ``incRCM`` and
+``incPCM`` behind its uniform maintainer interface — verifying after each
+batch that routed queries still answer exactly like evaluation on the live
+graph, without ever recompressing from scratch.  A deliberately low
+re-freeze threshold shows the last lifecycle stage: once the net delta
+passes it, the engine folds the delta into its frozen snapshot with
+``merge_deltas`` (no full rebuild).
 
 Run with::
 
@@ -14,8 +18,8 @@ import random
 import time
 
 from repro import (
-    IncrementalPatternCompressor,
-    IncrementalReachabilityCompressor,
+    GraphEngine,
+    ReachabilityQuery,
     compress_pattern,
     compress_reachability,
     match,
@@ -30,8 +34,9 @@ def main() -> None:
     g = load("p2p", seed=5, scale=0.6)
     print(f"P2P overlay: {g.order()} nodes, {g.size()} edges")
 
-    inc_reach = IncrementalReachabilityCompressor(g)
-    inc_pattern = IncrementalPatternCompressor(g)
+    engine = GraphEngine(g.copy(), refreeze_threshold=60)
+    engine.reachability()  # materialise both representations up front
+    engine.bisimulation()
     work = g.copy()
     rng = random.Random(42)
 
@@ -41,33 +46,37 @@ def main() -> None:
             (work.add_edge if op == "+" else work.remove_edge)(u, v)
 
         start = time.perf_counter()
-        inc_reach.apply(batch)
-        inc_pattern.apply(batch)
+        report = engine.apply(batch)
         elapsed = time.perf_counter() - start
 
-        rc = inc_reach.compression()
-        pc = inc_pattern.compression()
+        rc = engine.reachability()
+        pc = engine.bisimulation()
         print(
-            f"batch {step}: {len(batch)} updates in {elapsed * 1000:6.1f} ms | "
+            f"batch {step}: {report.applied:2d} applied / {report.redundant} "
+            f"redundant in {elapsed * 1000:6.1f} ms | "
             f"Gr(reach) = {rc.compressed.graph_size()}, "
-            f"Gr(pattern) = {pc.compressed.graph_size()} | "
-            f"affected (pattern) = {inc_pattern.last_affected_size}"
+            f"Gb(pattern) = {pc.compressed.graph_size()} | "
+            f"staleness = {report.staleness}"
+            + (" -> re-froze snapshot" if report.refrozen else "")
         )
 
         # Spot-check correctness against the live graph.
         nodes = work.node_list()
         for _ in range(50):
             u, v = rng.choice(nodes), rng.choice(nodes)
-            assert rc.query(u, v) == path_exists(work, u, v)
+            assert engine.query(ReachabilityQuery(u, v)) == path_exists(work, u, v)
         q = random_pattern(work, 3, 3, max_bound=2, seed=step)
-        assert pc.query(q, match) == match(q, work)
+        assert engine.query(q) == match(q, work)
 
     # The maintained state equals batch recompression — canonical equality.
     fresh_reach = compress_reachability(work)
     fresh_pattern = compress_pattern(work)
-    assert rc.compressed.order() == fresh_reach.compressed.order()
-    assert pc.compressed.order() == fresh_pattern.compressed.order()
-    print("incremental state matches batch recompression after all updates.")
+    assert engine.reachability().compressed.order() == fresh_reach.compressed.order()
+    assert engine.bisimulation().compressed.order() == fresh_pattern.compressed.order()
+    print(
+        f"engine state matches batch recompression after all updates "
+        f"(re-froze {engine.counters['refreezes']} times)."
+    )
 
 
 if __name__ == "__main__":

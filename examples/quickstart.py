@@ -7,7 +7,9 @@ Run with::
 
 from repro import (
     DiGraph,
+    GraphEngine,
     GraphPattern,
+    ReachabilityQuery,
     compress_pattern,
     compress_reachability,
     match,
@@ -58,6 +60,14 @@ def main() -> None:
     # Sanity: identical to evaluating directly on the original graph.
     assert answer == match(q, g)
     print("compressed answers match direct evaluation — as the paper promises.")
+
+    # ---- Or let the engine own the lifecycle ----------------------------
+    # GraphEngine freezes once, compresses lazily, and routes each query
+    # class to the representation that preserves it — no manual wiring.
+    engine = GraphEngine(g)
+    assert engine.query(ReachabilityQuery("alice", "shop2")) is True
+    assert engine.query(q) == answer  # routed to Gb, expanded by P
+    print(f"engine routed both query classes: {engine.describe()['materialized']}")
 
 
 if __name__ == "__main__":

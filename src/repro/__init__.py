@@ -55,6 +55,7 @@ from repro.store import (
     merge_deltas,
     save_snapshot,
 )
+from repro.engine import GraphEngine, QueryRouter
 
 __version__ = "1.0.0"
 
@@ -89,5 +90,7 @@ __all__ = [
     "save_snapshot",
     "load_snapshot",
     "merge_deltas",
+    "GraphEngine",
+    "QueryRouter",
     "__version__",
 ]

@@ -1,0 +1,231 @@
+"""Engine benchmark — routed sessions vs direct evaluation (repo-internal).
+
+Not a paper figure: this experiment tracks the :mod:`repro.engine`
+subsystem.  A *workload* here is what the fig12 experiments reduce to
+under the engine — a plain list of first-class query objects
+(:class:`ReachabilityQuery` and :class:`GraphPattern`); sessions differ
+only in how they answer it:
+
+* **direct on G** — the escape hatch (``on="original"``): every query
+  evaluated on the original graph, the pre-compression baseline;
+* **cold engine** — a fresh :class:`GraphEngine` with no catalog: freeze +
+  ``compressR`` + ``compressB`` paid inside the session, then routed
+  evaluation on the small graphs;
+* **warm engine** — a fresh engine over a pre-warmed
+  :class:`SnapshotCatalog` (a stand-in for a new process): the snapshot
+  loads from disk and both variants rehydrate with zero recomputation;
+* **batch vs one-shot** — the same routed workload with the per-session
+  evaluation caches shared across queries (``query_batch``) vs dropped
+  before every query (``clear_session_cache``), isolating what the
+  session cache amortises.
+
+After the query phase an update batch flows through ``engine.apply`` and
+the workload re-runs, verifying the maintained representations still
+answer exactly like direct evaluation on the updated graph.
+
+Semantic checks (flagged ``gate: true`` in ``BENCH_engine.json``) are hard
+CI gates; wall-clock comparisons are recorded per run for trend tracking
+but stay informational on shared runners, mirroring the kernels/store
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import random
+import time
+from pathlib import Path
+from typing import Any, Callable, List, Tuple
+
+from repro.bench.experiments.kernels import _default_graphs
+from repro.bench.harness import ExperimentResult
+from repro.datasets.patterns import random_pattern
+from repro.datasets.updates import mixed_batch
+from repro.engine import GraphEngine
+from repro.queries.reachability import ReachabilityQuery
+from repro.store.catalog import SnapshotCatalog
+
+JSON_PATH = "BENCH_engine.json"
+
+
+def _workload(graph, n_pairs: int, n_patterns: int, seed: int) -> List[Any]:
+    """A mixed query workload over *graph* (the fig12 query shapes)."""
+    rng = random.Random(seed)
+    nodes = graph.node_list()
+    queries: List[Any] = [
+        ReachabilityQuery(rng.choice(nodes), rng.choice(nodes))
+        for _ in range(n_pairs)
+    ]
+    for i in range(n_patterns):
+        queries.append(
+            random_pattern(graph, 3, 3, max_bound=2, star_prob=0.2, seed=seed + i)
+        )
+    return queries
+
+
+def _freeze_answers(answers: List[Any]) -> List[Any]:
+    """Order-independent rendering so answer lists compare across routes."""
+    return [
+        sorted((u, sorted(map(repr, vs))) for u, vs in a.items())
+        if isinstance(a, dict)
+        else a
+        for a in answers
+    ]
+
+
+def _run_session(
+    make_engine: Callable[[], GraphEngine],
+    workload: List[Any],
+    on: str = "auto",
+    one_shot: bool = False,
+) -> Tuple[float, List[Any], GraphEngine]:
+    """Build an engine and answer the workload; returns (seconds, answers, engine)."""
+    start = time.perf_counter()
+    engine = make_engine()
+    answers = []
+    for q in workload:
+        if one_shot:
+            engine.clear_session_cache()
+        answers.append(engine.query(q, on=on))
+    return time.perf_counter() - start, answers, engine
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    n_pairs = 150 if quick else 400
+    n_patterns = 10 if quick else 25
+    graphs = _default_graphs(quick)
+    largest = graphs[-1][0]
+
+    rows: List[dict] = []
+    all_match = True
+    batch_matches_oneshot = True
+    post_update_match = True
+    speedup_warm_vs_direct = {}
+    speedup_batch = {}
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro-engine-bench-") as tmp:
+        for name, g in graphs:
+            workload = _workload(g, n_pairs, n_patterns, seed=17)
+
+            t_direct, direct_answers, _ = _run_session(
+                lambda: GraphEngine(g), workload, on="original"
+            )
+            t_cold, cold_answers, _ = _run_session(lambda: GraphEngine(g), workload)
+
+            # Warm the catalog once (not timed), then open a fresh handle —
+            # a stand-in for a brand-new query process.
+            root = Path(tmp) / name
+            SnapshotCatalog(root).warm(g)
+
+            def warm_engine() -> GraphEngine:
+                catalog = SnapshotCatalog(root)
+                return GraphEngine(catalog.base(catalog.digests()[0]), catalog=catalog)
+
+            t_warm, warm_answers, warm = _run_session(warm_engine, workload)
+            assert warm.counters["catalog_warm_hits"] == 2, "catalog served a cold path"
+            t_oneshot, oneshot_answers, _ = _run_session(
+                warm_engine, workload, one_shot=True
+            )
+
+            frozen_direct = _freeze_answers(direct_answers)
+            all_match &= (
+                _freeze_answers(cold_answers) == frozen_direct
+                and _freeze_answers(warm_answers) == frozen_direct
+            )
+            batch_matches_oneshot &= _freeze_answers(oneshot_answers) == frozen_direct
+
+            # Update lifecycle: one mixed batch through apply(), then the
+            # routed engine must track direct evaluation on the updated graph.
+            updated = g.copy()
+            batch = mixed_batch(updated, max(1, g.size() // 100), insert_ratio=0.6, seed=23)
+            for op, u, v in batch:
+                (updated.add_edge if op == "+" else updated.remove_edge)(u, v)
+            live = GraphEngine(g.copy())
+            live.query_batch(workload)  # materialise both representations
+            live.apply(batch)
+            post_workload = _workload(updated, n_pairs // 3, max(2, n_patterns // 3), seed=29)
+            routed_after = _freeze_answers(live.query_batch(post_workload))
+            direct_after = _freeze_answers(
+                GraphEngine(updated).query_batch(post_workload, on="original")
+            )
+            post_update_match &= routed_after == direct_after
+
+            speedup_warm_vs_direct[name] = t_direct / t_warm if t_warm else float("inf")
+            speedup_batch[name] = t_oneshot / t_warm if t_warm else float("inf")
+            rows.append(
+                {
+                    "graph": name,
+                    "|V|": g.order(),
+                    "|E|": g.size(),
+                    "queries": len(workload),
+                    "direct ms": round(t_direct * 1e3, 1),
+                    "cold ms": round(t_cold * 1e3, 1),
+                    "warm ms": round(t_warm * 1e3, 1),
+                    "one-shot ms": round(t_oneshot * 1e3, 1),
+                    "warm/direct x": round(speedup_warm_vs_direct[name], 2),
+                    "batch/one-shot x": round(speedup_batch[name], 2),
+                }
+            )
+
+    gated_checks = [
+        (
+            "routed answers (cold and warm sessions) identical to direct-on-G "
+            "for the whole workload on every graph",
+            all_match,
+            True,
+        ),
+        (
+            "one-shot answers identical to batched answers (cache is pure speedup)",
+            batch_matches_oneshot,
+            True,
+        ),
+        (
+            "after apply(), routed answers identical to direct evaluation on "
+            "the updated graph",
+            post_update_match,
+            True,
+        ),
+        (
+            f"warm-catalog engine session beats cold direct-on-G evaluation "
+            f"on the largest generator graph ({largest})",
+            speedup_warm_vs_direct[largest] > 1.0,
+            False,
+        ),
+        (
+            "session cache amortisation: batched warm session not slower than "
+            f"one-shot on the largest generator graph ({largest})",
+            speedup_batch[largest] >= 1.0,
+            False,
+        ),
+    ]
+    checks = [(d, ok) for d, ok, _gate in gated_checks]
+
+    payload = {
+        "experiment": "engine",
+        "quick": quick,
+        "python": platform.python_version(),
+        "timestamp": time.time(),
+        "rows": rows,
+        "checks": [
+            {"description": d, "passed": ok, "gate": gate}
+            for d, ok, gate in gated_checks
+        ],
+    }
+    with open(JSON_PATH, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+    return ExperimentResult(
+        experiment="engine",
+        title="GraphEngine sessions: routed vs direct, cold vs warm catalog, batch vs one-shot",
+        columns=[
+            "graph", "|V|", "|E|", "queries", "direct ms", "cold ms",
+            "warm ms", "one-shot ms", "warm/direct x", "batch/one-shot x",
+        ],
+        rows=rows,
+        checks=checks,
+        notes=f"machine-readable copy written to {JSON_PATH}",
+    )

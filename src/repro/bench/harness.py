@@ -146,6 +146,7 @@ _EXPERIMENTS: Dict[str, str] = {
     "ablations": "repro.bench.experiments.ablations",
     "kernels": "repro.bench.experiments.kernels",
     "store": "repro.bench.experiments.store",
+    "engine": "repro.bench.experiments.engine",
 }
 
 REGISTRY: Dict[str, Callable[[bool], ExperimentResult]] = {}

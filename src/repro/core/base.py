@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Tuple
+from typing import Any, ClassVar, Dict, Hashable, List, Optional, Tuple
 
 from repro.graph.digraph import DiGraph
 
@@ -112,7 +112,44 @@ class QueryPreservingCompression(ABC):
     Subclasses own a compressed graph and the node mapping computed by their
     compression function ``R``; they add the query-class specific rewriting
     ``F`` and post-processing ``P``.
+
+    Answer-mapping protocol
+    -----------------------
+    Every artifact also speaks a uniform protocol the query router
+    (:mod:`repro.engine.router`) consumes without knowing the concrete
+    compression: :attr:`QUERY_CLASSES` declares which first-class query
+    objects the compression preserves, :meth:`preserves` tests one, and
+    :meth:`answer` runs the full ``P(F(q)(R(G)))`` pipeline — rewriting
+    the query, evaluating it on the compressed graph with a stock
+    algorithm, and mapping hypernode answers back to original nodes.
+    ``answer`` is *total* over node arguments (queries naming nodes the
+    graph never held are answerable — nothing matches / nothing is
+    reachable), matching the conventions of the direct evaluators in
+    :mod:`repro.queries`, so routed and direct answers always compare
+    equal.
     """
+
+    #: The first-class query types this compression preserves; the router
+    #: dispatches a query to the first representation whose artifact
+    #: ``preserves`` it.
+    QUERY_CLASSES: ClassVar[Tuple[type, ...]] = ()
+
+    @classmethod
+    def preserves(cls, query: Any) -> bool:
+        """Is *query* in the query class this compression preserves?"""
+        return isinstance(query, cls.QUERY_CLASSES)
+
+    @abstractmethod
+    def answer(self, query: Any, *, context: Optional[Any] = None,
+               algorithm: Optional[str] = None) -> Any:
+        """Answer *query* using only the compressed graph and the index.
+
+        *context* is an optional evaluation cache scoped to this artifact's
+        compressed graph (e.g. a ``MatchContext``), supplied by a session
+        that batches queries; *algorithm* picks among the stock evaluators
+        where the query class has several.  The result equals direct
+        evaluation of *query* on the original graph.
+        """
 
     @property
     @abstractmethod

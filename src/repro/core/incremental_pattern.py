@@ -62,8 +62,16 @@ EdgeUpdate = Tuple[str, Node, Node]
 class IncrementalPatternCompressor:
     """Maintains ``Gr = compressB(G)`` under batch edge updates."""
 
-    def __init__(self, graph: DiGraph) -> None:
-        self._g = graph.copy()
+    def __init__(self, graph: DiGraph, copy: bool = True) -> None:
+        """Compress *graph* and stand ready to maintain it under updates.
+
+        ``copy=False`` adopts the caller's graph instead of deep-copying it
+        (same aliasing contract as :class:`repro.queries.incremental_match
+        .IncrementalMatcher`: all mutation must go through :meth:`apply`,
+        the caller only reads) — the engine's update path uses this so a
+        large ``G`` is held once, not once per maintainer.
+        """
+        self._g = graph.copy() if copy else graph
         self._partition: Partition = bisimulation_partition(self._g)
         self._rank: Dict[Node, Rank] = {}
         self._wf: Dict[Node, bool] = {}

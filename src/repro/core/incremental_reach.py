@@ -64,8 +64,16 @@ class IncrementalReachabilityCompressor:
     >>> # rc.compression().query(1, 3)
     """
 
-    def __init__(self, graph: DiGraph) -> None:
-        self._g = graph.copy()
+    def __init__(self, graph: DiGraph, copy: bool = True) -> None:
+        """Compress *graph* and stand ready to maintain it under updates.
+
+        ``copy=False`` adopts the caller's graph instead of deep-copying it
+        (same aliasing contract as :class:`repro.queries.incremental_match
+        .IncrementalMatcher`: all mutation must go through :meth:`apply`,
+        the caller only reads) — the engine's update path uses this so a
+        large ``G`` is held once, not once per maintainer.
+        """
+        self._g = graph.copy() if copy else graph
         # -- condensation state ------------------------------------------
         self._scc_of: Dict[Node, int] = {}
         self._scc_members: Dict[int, Set[Node]] = {}

@@ -18,7 +18,7 @@ Boolean pattern queries ``P`` is not needed.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Set
+from typing import Any, ClassVar, Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.core.base import (
     CompressionStats,
@@ -30,12 +30,15 @@ from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
 from repro.graph.kernels import csr_bisimulation_blocks
 from repro.graph.partition import Partition
+from repro.queries.pattern import GraphPattern
 
 Node = Hashable
 
 
 class PatternCompression(QueryPreservingCompression):
     """The artifact produced by :func:`compress_pattern`."""
+
+    QUERY_CLASSES: ClassVar[Tuple[type, ...]] = (GraphPattern,)
 
     def __init__(
         self,
@@ -178,6 +181,25 @@ class PatternCompression(QueryPreservingCompression):
     def boolean_query(self, pattern, matcher) -> bool:
         """Boolean pattern query — no post-processing required (Section 4.1)."""
         return bool(matcher(pattern, self._gr))
+
+    # -- answer-mapping protocol (router entry point) --------------------
+    def answer(self, query: GraphPattern, *, context: Any = None,
+               algorithm: Optional[str] = None) -> Dict[Hashable, Set[Node]]:
+        """Answer a :class:`GraphPattern` on ``Gr`` and expand via ``P``.
+
+        ``F`` is the identity (the pattern runs on ``Gr`` as is), so this is
+        ``Match`` on the compressed graph followed by :meth:`post_process`.
+        *context* is an optional :class:`repro.queries.matching.MatchContext`
+        built over ``Gr`` — a session evaluating many patterns passes one so
+        the candidate/reachability bitsets are shared across the batch.
+        """
+        if not isinstance(query, GraphPattern):
+            raise TypeError(f"expected a GraphPattern, got {type(query).__name__}")
+        if algorithm not in (None, "match"):
+            raise ValueError(f"unknown algorithm {algorithm!r}; expected 'match'")
+        from repro.queries.matching import match
+
+        return self.post_process(match(query, self._gr, context))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"PatternCompression({self.stats()})"

@@ -39,7 +39,7 @@ the gap the paper glosses over without giving up "any algorithm runs on
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Callable, ClassVar, Dict, Hashable, List, Optional, Tuple
 
 from repro.core.base import (
     CompressionStats,
@@ -53,6 +53,7 @@ from repro.graph.kernels import reachability_quotient
 from repro.graph.scc import Condensation, condensation
 from repro.graph.transitive import dag_transitive_reduction
 from repro.graph.traversal import bidirectional_reachable, path_exists
+from repro.queries.reachability import EVALUATORS, ReachabilityQuery
 
 Node = Hashable
 
@@ -63,6 +64,8 @@ class ReachabilityCompression(QueryPreservingCompression):
     Holds the compressed graph ``Gr``, the node mapping ``R`` and the SCC
     index that powers the constant-time query rewriting ``F``.
     """
+
+    QUERY_CLASSES: ClassVar[Tuple[type, ...]] = (ReachabilityQuery,)
 
     def __init__(
         self,
@@ -246,6 +249,32 @@ class ReachabilityCompression(QueryPreservingCompression):
     def query_bibfs(self, source: Node, target: Node) -> bool:
         """Answer ``QR`` with bidirectional BFS on ``Gr`` (the paper's BIBFS)."""
         return self.query(source, target, evaluator=bidirectional_reachable)
+
+    # -- answer-mapping protocol (router entry point) --------------------
+    def answer(self, query: ReachabilityQuery, *, context: Any = None,
+               algorithm: Optional[str] = None) -> bool:
+        """Answer a first-class :class:`ReachabilityQuery` on ``Gr``.
+
+        *algorithm* names a stock evaluator (``bfs`` default, ``bibfs``,
+        ``dfs``); *context* is accepted for protocol uniformity (reachability
+        evaluation keeps no per-session state).  Total over node arguments:
+        a query naming a node the graph never held answers ``False``, the
+        same convention as :func:`repro.queries.reachability
+        .evaluate_reachability` — so routed answers equal direct ones even
+        on degenerate workloads.
+        """
+        if not isinstance(query, ReachabilityQuery):
+            raise TypeError(f"expected a ReachabilityQuery, got {type(query).__name__}")
+        if query.source not in self._class_of or query.target not in self._class_of:
+            return False
+        name = algorithm if algorithm is not None else "bfs"
+        try:
+            evaluator = EVALUATORS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown algorithm {name!r}; expected one of {sorted(EVALUATORS)}"
+            ) from None
+        return self.query(query.source, query.target, evaluator=evaluator)
 
     # -- metrics ----------------------------------------------------------
     @property

@@ -1,0 +1,35 @@
+"""Unified query engine over compressed graphs.
+
+* :mod:`repro.engine.session` — :class:`GraphEngine`, the facade owning
+  the load → freeze → compress → route → maintain → re-freeze lifecycle;
+* :mod:`repro.engine.router` — :class:`QueryRouter`, dispatching each
+  query class to the representation that preserves it;
+* :mod:`repro.engine.updates` — the uniform maintainer interface over the
+  Section 5 incremental algorithms plus the session's net-delta log.
+
+See ``src/repro/engine/README.md`` for the lifecycle diagram.
+"""
+
+from repro.engine.router import ORIGINAL, QueryRouter
+from repro.engine.session import GraphEngine, UpdateReport
+from repro.engine.updates import (
+    MAINTAINERS,
+    CompressionMaintainer,
+    PatternMaintainer,
+    ReachabilityMaintainer,
+    UpdateLog,
+    effective_updates,
+)
+
+__all__ = [
+    "GraphEngine",
+    "QueryRouter",
+    "UpdateReport",
+    "ORIGINAL",
+    "CompressionMaintainer",
+    "ReachabilityMaintainer",
+    "PatternMaintainer",
+    "MAINTAINERS",
+    "UpdateLog",
+    "effective_updates",
+]

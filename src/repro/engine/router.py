@@ -1,0 +1,112 @@
+"""Query router: each query class runs on the representation preserving it.
+
+The paper builds one compressed graph *per query class* — ``Gr``
+(``compressR``) answers reachability, ``Gb`` (``compressB``) answers
+(bounded-simulation) pattern queries — and proves any stock algorithm runs
+on the right one unchanged.  The router encodes exactly that dispatch: a
+first-class query object (:class:`~repro.queries.reachability
+.ReachabilityQuery` or :class:`~repro.queries.pattern.GraphPattern`) is
+matched against the ``QUERY_CLASSES`` each artifact declares
+(the answer-mapping protocol of :class:`repro.core.base
+.QueryPreservingCompression`), and the artifact's ``answer`` runs the full
+``P(F(q)(R(G)))`` pipeline — so every routed answer is already mapped back
+to original nodes.
+
+An explicit ``on="original"`` escape hatch evaluates on ``G`` itself
+(the baseline every benchmark compares against, and the right place for ad
+hoc query classes no representation preserves); ``on`` also accepts a
+representation key (``"reachability"``/``"pattern"``, or the paper
+spellings ``"Gr"``/``"Gb"``) to force one — forcing a representation that
+does not preserve the query class is a ``TypeError``, not a wrong answer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple, Type
+
+from repro.core.base import QueryPreservingCompression
+from repro.core.pattern import PatternCompression
+from repro.core.reachability import ReachabilityCompression
+
+#: The escape-hatch target: evaluate on the original graph.
+ORIGINAL = "original"
+
+#: The routable representations, in dispatch order: key -> artifact class.
+#: The router reads each class's ``QUERY_CLASSES`` — new representations
+#: plug in by declaring theirs.
+REPRESENTATIONS: Tuple[Tuple[str, Type[QueryPreservingCompression]], ...] = (
+    ("reachability", ReachabilityCompression),
+    ("pattern", PatternCompression),
+)
+
+#: Paper spellings accepted for ``on=``.
+ALIASES = {"Gr": "reachability", "Gb": "pattern", "G": ORIGINAL}
+
+
+class QueryRouter:
+    """Routes first-class query objects to their preserving representation."""
+
+    def __init__(
+        self,
+        representations: Tuple[
+            Tuple[str, Type[QueryPreservingCompression]], ...
+        ] = REPRESENTATIONS,
+    ) -> None:
+        self._table: List[Tuple[str, Type[QueryPreservingCompression]]] = list(
+            representations
+        )
+        self._keys = {key for key, _ in self._table}
+
+    # ------------------------------------------------------------------
+    def route(self, query: Any, on: str = "auto") -> str:
+        """The representation key *query* should run on.
+
+        ``on="auto"`` picks the first representation whose artifact class
+        ``preserves`` the query; anything else is validated and returned
+        (``original`` included).  Raises ``TypeError`` for a query no
+        representation preserves, ``ValueError`` for an unknown ``on``.
+        """
+        on = ALIASES.get(on, on)
+        if on != "auto":
+            if on == ORIGINAL:
+                return ORIGINAL
+            if on not in self._keys:
+                known = sorted(self._keys | {ORIGINAL, "auto"})
+                raise ValueError(f"unknown routing target {on!r}; expected one of {known}")
+            cls = dict(self._table)[on]
+            if not cls.preserves(query):
+                raise TypeError(
+                    f"representation {on!r} does not preserve "
+                    f"{type(query).__name__} queries"
+                )
+            return on
+        for key, cls in self._table:
+            if cls.preserves(query):
+                return key
+        raise TypeError(
+            f"no representation preserves {type(query).__name__} queries; "
+            f"pass a ReachabilityQuery or GraphPattern, or route on='original'"
+        )
+
+    def dispatch(
+        self,
+        query: Any,
+        session: Any,
+        on: str = "auto",
+        algorithm: Optional[str] = None,
+    ) -> Any:
+        """Route *query* and answer it through *session*'s artifacts.
+
+        *session* is a :class:`repro.engine.session.GraphEngine` (or
+        anything exposing ``artifact(key)``, ``context_for(key)`` and
+        ``evaluate_original(query, algorithm)``).  Compressed routes call
+        the artifact's ``answer`` — hypernode results come back already
+        expanded to original nodes.
+        """
+        key = self.route(query, on)
+        if key == ORIGINAL:
+            return session.evaluate_original(query, algorithm=algorithm)
+        artifact = session.artifact(key)
+        return artifact.answer(
+            query, context=session.context_for(key), algorithm=algorithm
+        )

@@ -360,6 +360,12 @@ class CSRGraph:
         """Integer id of original node *v*."""
         return self.indexer.index(v)
 
+    def has_node(self, v: Node) -> bool:
+        """Does the snapshot hold original node *v*?"""
+        return v in self.indexer
+
+    __contains__ = has_node
+
     def successors(self, i: int) -> array:
         return self.indices[self.indptr[i] : self.indptr[i + 1]]
 

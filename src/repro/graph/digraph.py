@@ -321,6 +321,9 @@ class NodeIndexer:
     def __len__(self) -> int:
         return len(self._nodes)
 
+    def __contains__(self, v: Node) -> bool:
+        return v in self._index
+
     def index(self, v: Node) -> int:
         return self._index[v]
 

@@ -19,9 +19,10 @@ computes ``~_k`` by ``k`` rounds of signature refinement; the limit (``k →
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional
+from typing import Dict, Hashable, List, Optional, Union
 
 from repro.core.pattern import PatternCompression, quotient_by_partition
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
 from repro.graph.partition import Partition
 
@@ -29,7 +30,10 @@ Node = Hashable
 
 
 def k_bisimulation_partition(
-    graph: DiGraph, k: int, direction: str = "backward"
+    graph: Union[DiGraph, CSRGraph],
+    k: int,
+    direction: str = "backward",
+    backend: str = "csr",
 ) -> Partition:
     """The ``~_k`` partition: label partition refined ``k`` times.
 
@@ -38,23 +42,88 @@ def k_bisimulation_partition(
     use, and the form the paper's counterexamples (Figs. 4 and 6) rely on.
     ``direction="forward"`` refines by successor blocks; its fixpoint is the
     maximum (forward) bisimulation of Section 4.
+
+    ``backend="csr"`` (default) freezes the graph once (or adopts a frozen
+    :class:`CSRGraph`) and runs the ``k`` refinement rounds over integer
+    code arrays on the frozen adjacency — no per-node hashing, and block
+    ids come out canonical (assigned in order of each block's first member
+    in node insertion order, independent of ``PYTHONHASHSEED``).
+    ``backend="dict"`` is the original signature-refinement over the
+    dict-of-sets adjacency, kept as the cross-validation reference; the
+    two backends produce the same partition (``as_frozen()`` equality —
+    dict-backend block *ids* depend on set iteration order).
     """
     if k < 0:
         raise ValueError("k must be nonnegative")
-    if direction == "backward":
-        neighbors = graph.predecessors
-    elif direction == "forward":
-        neighbors = graph.successors
-    else:
+    if direction not in ("backward", "forward"):
         raise ValueError("direction must be 'forward' or 'backward'")
+    if backend == "csr":
+        csr = graph if isinstance(graph, CSRGraph) else CSRGraph.from_digraph(graph)
+        return _k_bisimulation_csr(csr, k, direction)
+    if backend != "dict":
+        raise ValueError(f"unknown backend: {backend!r} (expected 'csr' or 'dict')")
+    if isinstance(graph, CSRGraph):
+        raise ValueError("a frozen snapshot requires backend='csr'")
+    neighbors = graph.predecessors if direction == "backward" else graph.successors
     partition = Partition.by_key(graph.node_list(), key=graph.label)
     for _ in range(k):
-        changed = partition.refine_by(
-            lambda v: frozenset(partition.block_of(c) for c in neighbors(v))
-        )
+        # Signatures are frozen against the pre-round partition before any
+        # split: ``~_{i+1}`` reads only ``~_i`` blocks.  (Computing them
+        # lazily inside refine_by would let later blocks observe earlier
+        # splits of the same round — a finer, order-dependent relation.)
+        sigs = {
+            v: frozenset(partition.block_of(c) for c in neighbors(v))
+            for v in graph.nodes()
+        }
+        changed = partition.refine_by(sigs.__getitem__)
         if not changed:
             break  # reached the fixpoint (= full bisimulation) early
     return partition
+
+
+def _k_bisimulation_csr(csr: CSRGraph, k: int, direction: str) -> Partition:
+    """``~_k`` over the frozen arrays: integer codes, no hashing per round.
+
+    ``code[i]`` is node ``i``'s current block; each round recodes by the
+    signature ``(code[i], {code[j] : j ∈ neighbors(i)})``.  New codes are
+    interned in first-appearance order over ascending node ids, so the
+    final block ids are canonical whatever the label/adjacency content.
+    """
+    n = csr.n
+    if direction == "backward":
+        indptr, indices = csr.rev()
+    else:
+        indptr, indices = csr.fwd()
+
+    # Round 0: the label partition, recoded to first-appearance ids (the
+    # frozen label codes already are first-appearance over node order).
+    code: List[int] = list(csr.label_codes())
+    ncodes = len(csr.label_names)
+    for _ in range(k):
+        intern: Dict[tuple, int] = {}
+        new_code = [0] * n
+        for i in range(n):
+            sig = (
+                code[i],
+                frozenset(code[j] for j in indices[indptr[i] : indptr[i + 1]]),
+            )
+            nc = intern.get(sig)
+            if nc is None:
+                nc = len(intern)
+                intern[sig] = nc
+            new_code[i] = nc
+        if len(intern) == ncodes:
+            break  # fixpoint: no block split this round
+        ncodes = len(intern)
+        code = new_code
+
+    node_of = csr.indexer.node
+    blocks: Dict[int, List[Node]] = {}
+    for i in range(n):
+        blocks.setdefault(code[i], []).append(node_of(i))
+    # Blocks in first-member order: dict preserves first-appearance of each
+    # code over ascending node ids, which is exactly that order.
+    return Partition.from_blocks(blocks.values())
 
 
 class KIndex:
@@ -67,13 +136,14 @@ class KIndex:
     """
 
     def __init__(
-        self, graph: DiGraph, k: Optional[int] = None, direction: str = "backward"
+        self,
+        graph: DiGraph,
+        k: Optional[int] = None,
+        direction: str = "backward",
+        backend: str = "csr",
     ) -> None:
-        if k is None:
-            # The 1-index [19]: full (backward) bisimulation.
-            partition = k_bisimulation_partition(graph, graph.order(), direction)
-        else:
-            partition = k_bisimulation_partition(graph, k, direction)
+        rounds = graph.order() if k is None else k  # None = the 1-index [19]
+        partition = k_bisimulation_partition(graph, rounds, direction, backend)
         self.k = k
         self._quotient: PatternCompression = quotient_by_partition(graph, partition)
 

@@ -38,9 +38,22 @@ class IncrementalMatcher:
     >>> # m.apply([("+", 1, 2), ("-", 3, 4)]) == match(pattern, updated)
     """
 
-    def __init__(self, pattern: GraphPattern, graph: DiGraph) -> None:
+    def __init__(
+        self, pattern: GraphPattern, graph: DiGraph, copy: bool = True
+    ) -> None:
+        """Build the initial match state over *graph*.
+
+        ``copy=True`` (default) deep-copies the graph, so the caller's
+        object is never touched.  ``copy=False`` *adopts* the caller's
+        graph instead — no duplicate adjacency in memory, which matters on
+        large graphs (the engine's update path passes its own working graph
+        here).  Aliasing contract: once adopted, the graph is owned by this
+        matcher — every mutation must go through :meth:`apply`, and the
+        caller may only *read* it (e.g. via :attr:`graph`).  Out-of-band
+        edits silently desynchronise the cached reachability bitsets.
+        """
         self._pattern = pattern
-        self._graph = graph.copy()
+        self._graph = graph.copy() if copy else graph
         # The dict backend is the right context here: this is the *mutable*
         # path, and the csr backend would re-freeze the whole graph on every
         # star-closure rebuild after a non-redundant update.

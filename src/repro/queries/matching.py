@@ -28,7 +28,7 @@ the definition.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Set
+from typing import Dict, Hashable, List, Optional, Set, Union
 
 from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph, NodeIndexer
@@ -83,20 +83,34 @@ class MatchContext:
     ``backend="dict"`` is the original dict-of-sets path, kept as the
     cross-validation reference; both produce identical bitsets because the
     frozen integer ids coincide with the indexer's insertion-order ids.
+
+    A bare :class:`CSRGraph` may be passed as *graph* (no dict backend
+    involved at all): the context then runs entirely over the frozen
+    arrays — the entry point for snapshot consumers such as the engine's
+    session cache, which matches patterns straight off a catalog-loaded
+    snapshot.  Such a context has ``graph is None`` and cannot be
+    ``invalidate``\\ d (snapshots are immutable; freeze a new one instead).
     """
 
     def __init__(
         self,
-        graph: DiGraph,
+        graph: "Union[DiGraph, CSRGraph]",
         csr: Optional[CSRGraph] = None,
         backend: str = "csr",
     ) -> None:
         if backend not in ("csr", "dict"):
             raise ValueError(f"unknown backend: {backend!r} (expected 'csr' or 'dict')")
-        if csr is not None and backend != "csr":
-            raise ValueError("a pre-frozen csr snapshot requires backend='csr'")
-        if csr is not None and not _snapshot_matches(csr, graph):
-            raise ValueError("csr snapshot does not match the graph")
+        if isinstance(graph, CSRGraph):
+            if csr is not None and csr is not graph:
+                raise ValueError("pass the snapshot once (as graph or csr, not both)")
+            if backend != "csr":
+                raise ValueError("a frozen snapshot requires backend='csr'")
+            csr, graph = graph, None
+        else:
+            if csr is not None and backend != "csr":
+                raise ValueError("a pre-frozen csr snapshot requires backend='csr'")
+            if csr is not None and not _snapshot_matches(csr, graph):
+                raise ValueError("csr snapshot does not match the graph")
         self.graph = graph
         self.backend = backend
         self.indexer = csr.indexer if csr is not None else NodeIndexer(graph.node_list())
@@ -173,11 +187,22 @@ class MatchContext:
             return adj
         prev = self.bounded_reach(bound - 1)
         current: Dict[Node, int] = {}
-        for v in self.graph.nodes():
-            mask = adj[v]
-            for c in self.graph.successors(v):
-                mask |= prev[c]
-            current[v] = mask
+        if self.backend == "csr":
+            csr = self.frozen()
+            indptr, indices = csr.fwd()
+            node_of = self.indexer.node
+            for i in range(csr.n):
+                v = node_of(i)
+                mask = adj[v]
+                for ei in range(indptr[i], indptr[i + 1]):
+                    mask |= prev[node_of(indices[ei])]
+                current[v] = mask
+        else:
+            for v in self.graph.nodes():
+                mask = adj[v]
+                for c in self.graph.successors(v):
+                    mask |= prev[c]
+                current[v] = mask
         self._bounded[bound] = current
         return current
 
@@ -253,6 +278,11 @@ class MatchContext:
 
     def invalidate(self) -> None:
         """Drop caches after the underlying graph changed."""
+        if self.graph is None:
+            raise ValueError(
+                "a snapshot-backed context has no mutable graph to refresh; "
+                "freeze a new snapshot and build a new context"
+            )
         self.indexer = NodeIndexer(self.graph.node_list())
         self._csr = None
         self._label_masks = None
@@ -264,19 +294,22 @@ class MatchContext:
 
 def match(
     pattern: GraphPattern,
-    graph: DiGraph,
+    graph: Union[DiGraph, CSRGraph],
     context: Optional[MatchContext] = None,
 ) -> MatchResult:
     """The maximum match of *pattern* in *graph* (empty dict if none).
 
     Runs the greatest-fixpoint refinement described in the module docstring.
     The same function evaluates patterns on original and compressed graphs —
-    exactly the "any algorithm runs on Gr as is" property the paper claims.
+    exactly the "any algorithm runs on Gr as is" property the paper claims —
+    and accepts either backend: a mutable :class:`DiGraph` or a frozen
+    :class:`CSRGraph` snapshot (the match result always names original
+    nodes; the snapshot's indexer owns the translation).
     """
     if pattern.order() == 0:
         return {}
     ctx = context if context is not None else MatchContext(graph)
-    if ctx.graph is not graph:
+    if graph is not ctx.graph and graph is not ctx._csr:
         raise ValueError("context was built for a different graph")
 
     cand: Dict[Node, int] = {}
@@ -312,7 +345,7 @@ def match(
 
 def boolean_match(
     pattern: GraphPattern,
-    graph: DiGraph,
+    graph: Union[DiGraph, CSRGraph],
     context: Optional[MatchContext] = None,
 ) -> bool:
     """Boolean pattern query: ``Qp ⊴ G``?"""

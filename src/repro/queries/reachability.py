@@ -3,18 +3,27 @@
 A reachability query asks whether node ``v`` can reach node ``w``.  The
 evaluators here — BFS, bidirectional BFS and DFS — are the stock algorithms
 of the paper's Exp-2; the whole point of query preserving compression is
-that these exact functions run unchanged on both ``G`` and ``Gr``.
+that these exact functions run unchanged on both ``G`` and ``Gr`` — and,
+because they only walk ``successors``/``predecessors``, on *either graph
+backend*: :func:`evaluate_reachability` accepts the mutable dict-of-sets
+:class:`~repro.graph.digraph.DiGraph` or a frozen
+:class:`~repro.graph.csr.CSRGraph` snapshot (queries still name original
+nodes; the snapshot's indexer translates them to dense integer ids and the
+evaluator runs over the frozen adjacency arrays).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, Set
+from typing import Callable, Dict, Hashable, Set, Union
 
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
 from repro.graph.traversal import bidirectional_reachable, path_exists
 
 Node = Hashable
+
+Graph = Union[DiGraph, CSRGraph]
 
 
 def dfs_reachable(graph: DiGraph, source: Node, target: Node) -> bool:
@@ -54,7 +63,7 @@ class ReachabilityQuery:
     source: Node
     target: Node
 
-    def evaluate(self, graph: DiGraph, algorithm: str = "bfs") -> bool:
+    def evaluate(self, graph: Graph, algorithm: str = "bfs") -> bool:
         return evaluate_reachability(graph, self.source, self.target, algorithm)
 
     def rewrite(self, node_map: Callable[[Node], Node]) -> "ReachabilityQuery":
@@ -63,12 +72,16 @@ class ReachabilityQuery:
 
 
 def evaluate_reachability(
-    graph: DiGraph, source: Node, target: Node, algorithm: str = "bfs"
+    graph: Graph, source: Node, target: Node, algorithm: str = "bfs"
 ) -> bool:
     """Evaluate ``QR(source, target)`` on *graph* with a stock algorithm.
 
-    Nodes absent from the graph are unreachable by convention (the
-    benchmarks never generate such queries; this keeps the function total).
+    *graph* may be a mutable :class:`DiGraph` or a frozen
+    :class:`CSRGraph` snapshot; with a snapshot the query nodes are mapped
+    to dense ids and the same evaluator walks the frozen arrays (identical
+    answers, no thaw).  Nodes absent from the graph are unreachable by
+    convention (the benchmarks never generate such queries; this keeps the
+    function total).
     """
     if source not in graph or target not in graph:
         return False
@@ -78,4 +91,6 @@ def evaluate_reachability(
         raise ValueError(
             f"unknown algorithm {algorithm!r}; expected one of {sorted(EVALUATORS)}"
         ) from None
+    if isinstance(graph, CSRGraph):
+        return evaluator(graph, graph.id_of(source), graph.id_of(target))
     return evaluator(graph, source, target)

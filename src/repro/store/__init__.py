@@ -13,7 +13,7 @@ session never rebuilds them.
   full rebuild (the incremental maintainers' periodic re-freeze).
 """
 
-from repro.store.catalog import CatalogError, SnapshotCatalog
+from repro.store.catalog import CatalogError, CatalogLockError, SnapshotCatalog
 from repro.store.delta import merge_deltas
 from repro.store.format import (
     FORMAT_VERSION,
@@ -30,6 +30,7 @@ from repro.store.format import (
 
 __all__ = [
     "CatalogError",
+    "CatalogLockError",
     "FORMAT_VERSION",
     "SnapshotCatalog",
     "SnapshotError",

@@ -29,8 +29,11 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import shutil
+import time
 from pathlib import Path
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.pattern import PatternCompression, compress_pattern_csr
 from repro.core.reachability import ReachabilityCompression, compress_reachability_csr
@@ -62,15 +65,145 @@ class CatalogError(SnapshotError):
     """Lookup of a digest the catalog does not hold."""
 
 
+class CatalogLockError(CatalogError):
+    """The catalog's writer lock could not be acquired in time."""
+
+
+class _DirectoryLock:
+    """A cooperative cross-process lock file for one catalog directory.
+
+    ``O_CREAT | O_EXCL`` is atomic on every platform/filesystem this repo
+    targets, so whoever creates ``<root>/.lock`` owns the catalog's write
+    side.  The file body records a unique ownership token (pid + instance
+    + acquisition time); release verifies the token before unlinking, so a
+    holder whose lock was broken as stale can never delete the *next*
+    owner's lock.  A lock whose file has not been touched for
+    *stale_after* seconds is presumed abandoned (a crashed writer) and
+    broken; breaking re-races through the same atomic create, so two
+    waiters cannot both claim it.  Long critical sections must call
+    :meth:`refresh` at checkpoints (``prune`` does, per entry) so a live
+    hold is never mistaken for a stale one.
+
+    Threads sharing one instance serialise on an in-process ``RLock``
+    before the file protocol runs, so the lock is reentrant within the
+    owning thread (locked sections can nest — ``warm`` under ``prune``)
+    and exclusive across threads and processes alike.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        timeout: float = 10.0,
+        stale_after: float = 60.0,
+        poll: float = 0.02,
+    ) -> None:
+        import threading
+
+        self.path = path
+        self.timeout = timeout
+        self.stale_after = stale_after
+        self.poll = poll
+        self._tlock = threading.RLock()
+        self._depth = 0
+        self._token = ""
+
+    def __enter__(self) -> "_DirectoryLock":
+        if not self._tlock.acquire(timeout=self.timeout):
+            raise CatalogLockError(
+                f"could not acquire catalog lock {self.path} within "
+                f"{self.timeout:.1f}s (held by another thread of this process)"
+            )
+        self._depth += 1
+        if self._depth > 1:
+            return self  # reentrant: the file is already ours
+        try:
+            deadline = time.monotonic() + self.timeout
+            while True:
+                try:
+                    fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                except FileExistsError:
+                    self._break_if_stale()
+                    if time.monotonic() >= deadline:
+                        raise CatalogLockError(
+                            f"could not acquire catalog lock {self.path} within "
+                            f"{self.timeout:.1f}s (stale writer? delete the file "
+                            "if no catalog process is alive)"
+                        ) from None
+                    time.sleep(self.poll)
+                    continue
+                token = f"pid={os.getpid()} owner={id(self)} acquired={time.time():.3f}"
+                with os.fdopen(fd, "w") as fh:
+                    fh.write(token + "\n")
+                self._token = token
+                return self
+        except BaseException:
+            self._depth -= 1
+            self._tlock.release()
+            raise
+
+    def __exit__(self, *exc_info) -> None:
+        self._depth -= 1
+        if self._depth == 0:
+            try:
+                # Only release a lock we still own: if ours was broken as
+                # stale and reclaimed, the file now carries another owner's
+                # token and must be left alone.
+                with open(self.path, "r", encoding="utf-8") as fh:
+                    current = fh.readline().strip()
+                if current == self._token:
+                    os.unlink(self.path)
+            except OSError:  # already broken as stale — nothing to release
+                pass
+        self._tlock.release()
+
+    def refresh(self) -> None:
+        """Heartbeat: mark the held lock live (call inside long sections)."""
+        if self._depth:
+            try:
+                os.utime(self.path, None)
+            except OSError:
+                pass  # broken as stale already; the token check handles release
+
+    def _break_if_stale(self) -> None:
+        try:
+            age = time.time() - self.path.stat().st_mtime
+        except OSError:
+            return  # released between the failed create and the stat
+        if age > self.stale_after:
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass  # another waiter broke it first
+
+
 class SnapshotCatalog:
     """Content-addressed store of frozen graphs and their compressions."""
 
-    def __init__(self, root: PathLike) -> None:
+    def __init__(
+        self,
+        root: PathLike,
+        lock_timeout: float = 10.0,
+        lock_stale_after: float = 60.0,
+    ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         sweep_stale_tmp(self.root, recursive=True)
         # Per-process caches; the on-disk layout is the source of truth.
         self._graphs: Dict[str, CSRGraph] = {}
+        self._lock = _DirectoryLock(
+            self.root / ".lock", timeout=lock_timeout, stale_after=lock_stale_after
+        )
+
+    def lock(self) -> _DirectoryLock:
+        """The catalog's writer lock (a reentrant context manager).
+
+        ``put``, variant writes and ``prune`` take it internally; callers
+        composing multiple writes (e.g. warm-then-prune maintenance jobs
+        against a shared directory) can hold it across the sequence.
+        Readers never take it — every file write is atomic-rename, so
+        reads are always consistent without coordination.
+        """
+        return self._lock
 
     # ------------------------------------------------------------------
     # Entries
@@ -103,33 +236,38 @@ class SnapshotCatalog:
         base = entry / _BASE_NAME
         if not base.exists():
             if body is None:
-                body = encode_body(csr)
-            (entry / "variants").mkdir(parents=True, exist_ok=True)
-            meta = {
-                "format_version": FORMAT_VERSION,
-                "nodes": csr.n,
-                "edges": csr.m,
-                "labels": len(csr.label_names),
-            }
-            # Meta first: base.rgs is the entry-existence marker, so a crash
-            # between the two writes must not leave a meta-less entry that
-            # this exists() check would then never repair.
-            atomic_write_bytes(
-                entry / _META_NAME,
-                (json.dumps(meta, indent=2) + "\n").encode("utf-8"),
-            )
-            atomic_write_bytes(base, _frame(body))
+                body = encode_body(csr)  # CPU work outside the lock
+            with self._lock:
+                if not base.exists():  # lost the race: another writer stored it
+                    (entry / "variants").mkdir(parents=True, exist_ok=True)
+                    meta = {
+                        "format_version": FORMAT_VERSION,
+                        "nodes": csr.n,
+                        "edges": csr.m,
+                        "labels": len(csr.label_names),
+                    }
+                    # Meta first: base.rgs is the entry-existence marker, so
+                    # a crash between the two writes must not leave a
+                    # meta-less entry that this exists() check would then
+                    # never repair.
+                    atomic_write_bytes(
+                        entry / _META_NAME,
+                        (json.dumps(meta, indent=2) + "\n").encode("utf-8"),
+                    )
+                    atomic_write_bytes(base, _frame(body))
         self._graphs[digest] = csr
         return digest
 
     def base(self, digest: str) -> CSRGraph:
         """The stored frozen graph behind *digest* (memoised per process)."""
+        path = self._entry(digest) / _BASE_NAME
         cached = self._graphs.get(digest)
         if cached is not None:
+            self._touch(path)
             return cached
-        path = self._entry(digest) / _BASE_NAME
         if not path.exists():
             raise CatalogError(f"catalog has no entry {digest!r}")
+        self._touch(path)
         data = path.read_bytes()
         try:
             csr = load_bytes(data)
@@ -207,10 +345,11 @@ class SnapshotCatalog:
         guarded = dict(arrays)
         guarded[self._GUARD_SECTION] = list(bytes.fromhex(digest))
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            atomic_write_bytes(path, encode_int_sections(guarded))
-        except OSError:
-            pass
+            with self._lock:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                atomic_write_bytes(path, encode_int_sections(guarded))
+        except (CatalogLockError, OSError):
+            pass  # a busy or unwritable catalog degrades to compute-only
 
     def _read_variant(
         self, path: Path, digest: str
@@ -292,6 +431,90 @@ class SnapshotCatalog:
         self.reachability(digest)
         self.bisimulation(digest)
         return digest
+
+    # ------------------------------------------------------------------
+    # Retention
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Refresh an entry's recency stamp (best-effort; read-only ok)."""
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass
+
+    def _entry_bytes(self, digest: str) -> int:
+        """Total on-disk bytes of one entry (base + meta + variants)."""
+        total = 0
+        for dirpath, _dirnames, filenames in os.walk(self._entry(digest)):
+            for name in filenames:
+                try:
+                    total += os.stat(os.path.join(dirpath, name)).st_size
+                except OSError:
+                    pass  # racing writer/pruner; count what is stat-able
+        return total
+
+    def prune(
+        self,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> List[str]:
+        """Evict least-recently-used entries until within the given bounds.
+
+        Recency is the ``base.rgs`` mtime, which every access refreshes
+        (:meth:`base` touches it, and both variant accessors go through
+        ``base``), so eviction order is LRU-by-use, falling back to
+        LRU-by-write for never-read entries.  ``max_entries`` bounds the
+        entry count, ``max_bytes`` the catalog's total payload size
+        (base + meta + variants); either alone or both together.  Returns
+        the evicted digests, oldest first.
+
+        Runs under the writer lock, so a concurrent ``put`` of a shared
+        directory cannot interleave with the directory removals; a
+        concurrent *reader* of an evicted entry sees a clean
+        ``CatalogError`` (entries vanish whole, marker file first).
+        """
+        if max_entries is None and max_bytes is None:
+            raise ValueError("pass max_entries and/or max_bytes")
+        if max_entries is not None and max_entries < 0:
+            raise ValueError("max_entries must be nonnegative")
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be nonnegative")
+        evicted: List[str] = []
+        with self._lock:
+            aged: List[Tuple[float, str]] = []
+            sizes: Dict[str, int] = {}
+            for digest in self.digests():
+                try:
+                    mtime = (self._entry(digest) / _BASE_NAME).stat().st_mtime
+                except OSError:
+                    continue  # vanished mid-scan
+                aged.append((mtime, digest))
+                if max_bytes is not None:
+                    sizes[digest] = self._entry_bytes(digest)
+                self._lock.refresh()  # heartbeat: the scan can be long
+            aged.sort()  # oldest first; digest tie-break for determinism
+            count = len(aged)
+            total = sum(sizes.values())
+            for mtime, digest in aged:
+                over_entries = max_entries is not None and count > max_entries
+                over_bytes = max_bytes is not None and total > max_bytes
+                if not (over_entries or over_bytes):
+                    break
+                size = sizes.get(digest, 0)
+                # Remove the existence marker first so a concurrent reader
+                # fails cleanly rather than decoding a half-removed entry.
+                try:
+                    (self._entry(digest) / _BASE_NAME).unlink()
+                except OSError:
+                    pass
+                shutil.rmtree(self._entry(digest), ignore_errors=True)
+                self._graphs.pop(digest, None)
+                evicted.append(digest)
+                count -= 1
+                total -= size
+                self._lock.refresh()  # heartbeat per evicted entry
+        return evicted
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SnapshotCatalog({str(self.root)!r}, entries={len(self.digests())})"

@@ -697,3 +697,115 @@ def test_load_or_freeze_snapshot_cache(tmp_path, monkeypatch):
     _assert_same_frozen(csr3, csr1)
     g4, _ = load_or_freeze("cache-test", build)
     assert len(calls) == 3  # cache healed, loads again
+
+
+# ----------------------------------------------------------------------
+# Catalog retention: prune (LRU-by-mtime) and the writer lock
+# ----------------------------------------------------------------------
+def _fill_catalog(catalog, count, seed=0):
+    digests = []
+    for i in range(count):
+        g = gnm_random_graph(25, 55, num_labels=2, seed=seed + i)
+        digests.append(catalog.put(g))
+    return digests
+
+
+def test_prune_by_entries_evicts_lru(tmp_path):
+    catalog = SnapshotCatalog(tmp_path)
+    digests = _fill_catalog(catalog, 3)
+    for i, digest in enumerate(digests):
+        os.utime(tmp_path / digest / "base.rgs", (1000 + i, 1000 + i))
+    # Accessing an entry refreshes its recency (base() touches the stamp).
+    catalog.base(digests[0])
+    evicted = catalog.prune(max_entries=2)
+    assert evicted == [digests[1]]  # oldest *unaccessed* entry goes first
+    assert digests[1] not in catalog
+    assert digests[0] in catalog and digests[2] in catalog
+    with pytest.raises(CatalogError):
+        catalog.base(digests[1])
+    # Survivors still rehydrate from disk through a fresh handle.
+    fresh = SnapshotCatalog(tmp_path)
+    assert fresh.base(digests[0]).digest() == digests[0]
+
+
+def test_prune_by_bytes_and_validation(tmp_path):
+    catalog = SnapshotCatalog(tmp_path)
+    digests = _fill_catalog(catalog, 3, seed=10)
+    for i, digest in enumerate(digests):
+        os.utime(tmp_path / digest / "base.rgs", (2000 + i, 2000 + i))
+    keep_budget = catalog._entry_bytes(digests[2]) + 1
+    evicted = catalog.prune(max_bytes=keep_budget)
+    assert evicted == digests[:2]  # two oldest evicted, newest kept
+    assert catalog.digests() == [digests[2]] or catalog.digests() == sorted([digests[2]])
+    assert catalog.prune(max_entries=5) == []  # already within bounds
+    with pytest.raises(ValueError):
+        catalog.prune()
+    with pytest.raises(ValueError):
+        catalog.prune(max_entries=-1)
+    with pytest.raises(ValueError):
+        catalog.prune(max_bytes=-1)
+    # max_entries=0 empties the catalog.
+    assert catalog.prune(max_entries=0) == [digests[2]]
+    assert catalog.digests() == []
+
+
+def test_prune_keeps_warm_variants_of_survivors(tmp_path):
+    catalog = SnapshotCatalog(tmp_path)
+    g_old = gnm_random_graph(25, 55, num_labels=2, seed=30)
+    g_new = gnm_random_graph(25, 55, num_labels=2, seed=31)
+    d_old, d_new = catalog.warm(g_old), catalog.warm(g_new)
+    os.utime(tmp_path / d_old / "base.rgs", (1000, 1000))
+    assert catalog.prune(max_entries=1) == [d_old]
+    fresh = SnapshotCatalog(tmp_path)
+    assert fresh.has_variant(d_new, "reachability")
+    rc = fresh.reachability(d_new)
+    assert rc.canonical_form() == compress_reachability(g_new).canonical_form()
+
+
+def test_catalog_lock_contention_and_stale_reclaim(tmp_path):
+    from repro.store.catalog import CatalogLockError
+
+    fast = SnapshotCatalog(tmp_path, lock_timeout=0.15)
+    other = SnapshotCatalog(tmp_path, lock_timeout=0.15)
+    with fast.lock():
+        with fast.lock():  # reentrant within one handle
+            pass
+        with pytest.raises(CatalogLockError):
+            with other.lock():
+                pass
+    # Released: acquirable again.
+    with other.lock():
+        pass
+    # A stale lock file (crashed writer) is broken, not waited on forever.
+    lock_path = tmp_path / ".lock"
+    lock_path.write_text("pid=0 acquired=0\n")
+    os.utime(lock_path, (1000, 1000))
+    stale_aware = SnapshotCatalog(tmp_path, lock_timeout=0.5, lock_stale_after=60.0)
+    with stale_aware.lock():
+        pass
+
+
+def test_catalog_concurrent_writers_threads(tmp_path):
+    """Shared-directory writers (put/warm/prune) interleave safely."""
+    import threading
+
+    g = gnm_random_graph(120, 420, num_labels=3, seed=40)
+    errors = []
+
+    def warm_worker():
+        try:
+            SnapshotCatalog(tmp_path).warm(g)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    threads = [threading.Thread(target=warm_worker) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    catalog = SnapshotCatalog(tmp_path)
+    digest = catalog.put(g)
+    assert catalog.digests() == [digest]
+    rc = catalog.reachability(digest)
+    assert rc.canonical_form() == compress_reachability(g).canonical_form()
