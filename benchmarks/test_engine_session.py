@@ -1,7 +1,6 @@
 """Engine sessions — routed vs direct workloads (benchmark: routed batch)."""
 import warnings
 
-from conftest import report
 from repro.datasets.catalog import load
 from repro.datasets.patterns import random_pattern
 from repro.engine import GraphEngine

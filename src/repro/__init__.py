@@ -55,7 +55,8 @@ from repro.store import (
     merge_deltas,
     save_snapshot,
 )
-from repro.engine import GraphEngine, QueryRouter
+from repro.engine import Epoch, GraphEngine, QueryRouter, RouterStats
+from repro.service import EngineService, QueryExecutor
 
 __version__ = "1.0.0"
 
@@ -92,5 +93,9 @@ __all__ = [
     "merge_deltas",
     "GraphEngine",
     "QueryRouter",
+    "RouterStats",
+    "Epoch",
+    "EngineService",
+    "QueryExecutor",
     "__version__",
 ]

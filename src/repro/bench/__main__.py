@@ -1,4 +1,11 @@
-"""CLI entry point: ``python -m repro.bench [experiment ...|all] [--full]``."""
+"""CLI entry point.
+
+``python -m repro.bench [experiment ...|all] [--full]`` regenerates the
+paper's tables/figures and the repo-internal benchmarks;
+``python -m repro.bench check --baseline <dir>`` compares the current
+``BENCH_*.json`` files against committed baselines (the CI
+benchmark-regression gate, runnable locally).
+"""
 
 from __future__ import annotations
 
@@ -9,10 +16,50 @@ import time
 from repro.bench.harness import available, run_experiment
 
 
+def _run_check(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench check",
+        description="Compare current BENCH_*.json files against baselines.",
+    )
+    parser.add_argument(
+        "--baseline", required=True,
+        help="directory of committed baseline BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--current", default=".",
+        help="directory holding the current BENCH_*.json files (default: .)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.5,
+        help="allowed fractional ratio drop before failing (default: 0.5)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error(
+            f"--tolerance must be in [0, 1) (a fraction, not a percentage); "
+            f"got {args.tolerance}"
+        )
+
+    from repro.bench.regression import check_against_baselines
+
+    ok, lines = check_against_baselines(
+        args.baseline, args.current, tolerance=args.tolerance
+    )
+    for line in lines:
+        print(line)
+    print("benchmark regression check:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "check":
+        return _run_check(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
-        description="Regenerate the paper's tables and figures.",
+        description="Regenerate the paper's tables and figures "
+                    "(or 'check' for the benchmark-regression gate).",
     )
     parser.add_argument(
         "experiments",

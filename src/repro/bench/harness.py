@@ -147,6 +147,7 @@ _EXPERIMENTS: Dict[str, str] = {
     "kernels": "repro.bench.experiments.kernels",
     "store": "repro.bench.experiments.store",
     "engine": "repro.bench.experiments.engine",
+    "service": "repro.bench.experiments.service",
 }
 
 REGISTRY: Dict[str, Callable[[bool], ExperimentResult]] = {}

@@ -151,6 +151,20 @@ class QueryPreservingCompression(ABC):
         evaluation of *query* on the original graph.
         """
 
+    def answer_batch(self, queries: List[Any], *, context: Optional[Any] = None,
+                     algorithm: Optional[str] = None) -> List[Any]:
+        """Answer a same-class micro-batch of queries.
+
+        The contract is strict positional equality: element ``i`` equals
+        ``answer(queries[i], ...)`` — batching is pure amortisation, never
+        a semantic change.  The default is the per-query loop; subclasses
+        override where a batch can share work (one traversal answering
+        many reachability queries, duplicate patterns evaluated once).
+        The concurrent service front's micro-batching dispatch
+        (:mod:`repro.service.executor`) feeds whole same-class groups here.
+        """
+        return [self.answer(q, context=context, algorithm=algorithm) for q in queries]
+
     @property
     @abstractmethod
     def compressed(self) -> DiGraph:

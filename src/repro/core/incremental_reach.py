@@ -42,7 +42,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
-from repro.core.reachability import ReachabilityCompression, compress_reachability
+from repro.core.reachability import ReachabilityCompression
 from repro.graph.digraph import DEFAULT_LABEL, DiGraph
 from repro.graph.scc import (
     strongly_connected_components,

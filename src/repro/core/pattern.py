@@ -18,7 +18,7 @@ Boolean pattern queries ``P`` is not needed.
 
 from __future__ import annotations
 
-from typing import Any, ClassVar, Dict, Hashable, Iterable, List, Optional, Set, Tuple
+from typing import Any, ClassVar, Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.core.base import (
     CompressionStats,
@@ -200,6 +200,54 @@ class PatternCompression(QueryPreservingCompression):
         from repro.queries.matching import match
 
         return self.post_process(match(query, self._gr, context))
+
+    def answer_batch(self, queries: List[GraphPattern], *, context: Any = None,
+                     algorithm: Optional[str] = None) -> List[Dict[Hashable, Set[Node]]]:
+        """Answer a micro-batch of patterns, evaluating duplicates once.
+
+        Serving workloads repeat hot patterns; structurally identical ones
+        (same nodes, labels, edges and bounds) share a single ``Match``
+        run.  Repeats get a fresh shallow-copied result (new dict, new
+        sets) so no caller can mutate another's answer; element ``i``
+        always equals ``answer(queries[i], ...)``.
+
+        When *context* is a **sealed** :class:`~repro.queries.matching
+        .MatchContext` (an immutable epoch's shared cache), deduplication
+        extends *across* batches — and across worker threads — through
+        the context's coalescing answer memo
+        (:meth:`~repro.queries.matching.MatchContext.memo_compute`):
+        repeated hot patterns cost one evaluation per epoch, and
+        concurrent first requests block on the one computation instead
+        of duplicating it.
+        """
+        memo_compute = (
+            context.memo_compute
+            if getattr(context, "sealed", False) else None
+        )
+        seen: Dict[Tuple[frozenset, frozenset], Dict[Hashable, Set[Node]]] = {}
+        answers: List[Dict[Hashable, Set[Node]]] = []
+        for q in queries:
+            if not isinstance(q, GraphPattern):
+                raise TypeError(f"expected a GraphPattern, got {type(q).__name__}")
+            key = (frozenset(q.nodes.items()), frozenset(q.edges.items()))
+            cached = seen.get(key)
+            if cached is None:
+                if memo_compute is not None:
+                    canonical = memo_compute(
+                        (key, algorithm),
+                        lambda q=q: self.answer(q, context=context,
+                                                algorithm=algorithm),
+                    )
+                    # The memo entry is canonical; every caller (first
+                    # included) gets an independent copy it may mutate.
+                    cached = {u: set(vs) for u, vs in canonical.items()}
+                else:
+                    cached = self.answer(q, context=context, algorithm=algorithm)
+                seen[key] = cached
+                answers.append(cached)
+            else:
+                answers.append({u: set(vs) for u, vs in cached.items()})
+        return answers
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"PatternCompression({self.stats()})"

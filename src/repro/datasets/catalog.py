@@ -33,9 +33,7 @@ from repro.graph.generators import (
     assign_labels,
     attach_equivalent_leaves,
     gnm_random_graph,
-    layered_dag,
     preferential_attachment_graph,
-    random_dag,
 )
 
 

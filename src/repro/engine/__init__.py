@@ -2,14 +2,24 @@
 
 * :mod:`repro.engine.session` — :class:`GraphEngine`, the facade owning
   the load → freeze → compress → route → maintain → re-freeze lifecycle;
+* :mod:`repro.engine.epoch` — :class:`Epoch`, the immutable published
+  version of a graph and its representations (the unit the concurrent
+  service front swaps RCU-style), plus the shared frozen-graph
+  compression builder;
 * :mod:`repro.engine.router` — :class:`QueryRouter`, dispatching each
-  query class to the representation that preserves it;
+  query class (singly or micro-batched) to the representation that
+  preserves it, steered by workload stats;
+* :mod:`repro.engine.counters` — :class:`RouterStats`, thread-safe
+  per-class hit counts and latency aggregates;
 * :mod:`repro.engine.updates` — the uniform maintainer interface over the
-  Section 5 incremental algorithms plus the session's net-delta log.
+  Section 5 incremental algorithms plus the session's net-delta log and
+  the writer-side publication journal.
 
 See ``src/repro/engine/README.md`` for the lifecycle diagram.
 """
 
+from repro.engine.counters import RouterStats
+from repro.engine.epoch import CATALOG_VARIANTS, Epoch, EpochRetired, compress_frozen
 from repro.engine.router import ORIGINAL, QueryRouter
 from repro.engine.session import GraphEngine, UpdateReport
 from repro.engine.updates import (
@@ -17,19 +27,28 @@ from repro.engine.updates import (
     CompressionMaintainer,
     PatternMaintainer,
     ReachabilityMaintainer,
+    UpdateJournal,
     UpdateLog,
     effective_updates,
+    replay_updates,
 )
 
 __all__ = [
     "GraphEngine",
     "QueryRouter",
+    "RouterStats",
     "UpdateReport",
     "ORIGINAL",
+    "Epoch",
+    "EpochRetired",
+    "CATALOG_VARIANTS",
+    "compress_frozen",
     "CompressionMaintainer",
     "ReachabilityMaintainer",
     "PatternMaintainer",
     "MAINTAINERS",
+    "UpdateJournal",
     "UpdateLog",
     "effective_updates",
+    "replay_updates",
 ]

@@ -1,0 +1,140 @@
+"""Routing statistics — per-class workload counters feeding the router.
+
+The ROADMAP's serving target is workload-aware: which query classes a
+session actually receives should steer what the engine materialises and in
+what order the router probes representations.  :class:`RouterStats` is the
+shared vocabulary for that feedback loop: every dispatch records the routed
+representation key (``"reachability"``, ``"pattern"``, ``"original"``) with
+its latency, and consumers read back per-class hit counts and latency
+aggregates.
+
+The object is thread-safe by design — the concurrent service front
+(:mod:`repro.service`) shares one instance across every worker thread — and
+cheap: one small lock around integer/float bumps, no allocation on the
+record path.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, Iterable, List, Union
+
+Number = Union[int, float]
+
+#: One lock for every lifecycle-counter bump.  The counters dict is shared
+#: by an engine and every epoch it publishes, and reader threads bump it
+#: concurrently; ``d[k] += 1`` is a read-modify-write that can drop
+#: increments under thread preemption.  Bumps are rare (artifact builds,
+#: warm hits, refreezes), so one global lock costs nothing.
+_BUMP_LOCK = threading.Lock()
+
+
+def _rearm_bump_lock() -> None:  # pragma: no cover - fork plumbing
+    # A forked child must not inherit a lock some other thread held at
+    # fork time (no surviving thread would ever release it).
+    global _BUMP_LOCK
+    _BUMP_LOCK = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_rearm_bump_lock)
+
+
+def bump(counters: Dict[str, int], key: str, n: int = 1) -> None:
+    """Thread-safe increment of a shared lifecycle-counter slot."""
+    with _BUMP_LOCK:
+        counters[key] = counters.get(key, 0) + n
+
+
+class _ClassEntry:
+    """Mutable per-class aggregate (internal; snapshots are plain dicts)."""
+
+    __slots__ = ("hits", "dispatches", "total_s", "max_s")
+
+    def __init__(self) -> None:
+        self.hits = 0  # queries answered under this key
+        self.dispatches = 0  # dispatch calls (a batch is one dispatch)
+        self.total_s = 0.0
+        self.max_s = 0.0
+
+
+class RouterStats:
+    """Thread-safe per-representation hit counts and latency aggregates.
+
+    ``record(key, seconds)`` is the single write entry point; a batched
+    dispatch passes ``queries=len(batch)`` so *hits* counts queries while
+    *dispatches* counts dispatch calls.  Readers get immutable snapshots
+    (:meth:`snapshot`, :meth:`hits`) or a hint (:meth:`hot_order`) — the
+    router uses the latter to probe the most-hit representation first on
+    ``on="auto"`` dispatch.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._classes: Dict[str, _ClassEntry] = {}
+
+    # -- write path ------------------------------------------------------
+    def record(self, key: str, seconds: float, queries: int = 1) -> None:
+        """Fold one dispatch of *queries* queries under *key* into the stats."""
+        with self._lock:
+            entry = self._classes.get(key)
+            if entry is None:
+                entry = self._classes[key] = _ClassEntry()
+            entry.hits += queries
+            entry.dispatches += 1
+            entry.total_s += seconds
+            if seconds > entry.max_s:
+                entry.max_s = seconds
+
+    def clear(self) -> None:
+        with self._lock:
+            self._classes.clear()
+
+    # -- read path -------------------------------------------------------
+    def hits(self, key: str) -> int:
+        """Queries answered under *key* so far (0 for a never-hit key)."""
+        with self._lock:
+            entry = self._classes.get(key)
+            return entry.hits if entry is not None else 0
+
+    def total_queries(self) -> int:
+        with self._lock:
+            return sum(e.hits for e in self._classes.values())
+
+    def snapshot(self) -> Dict[str, Dict[str, Number]]:
+        """Immutable per-class aggregates, for logging and benchmarks."""
+        with self._lock:
+            out: Dict[str, Dict[str, Number]] = {}
+            for key, e in sorted(self._classes.items()):
+                out[key] = {
+                    "hits": e.hits,
+                    "dispatches": e.dispatches,
+                    "total_ms": round(e.total_s * 1e3, 3),
+                    "mean_ms": round(e.total_s / e.dispatches * 1e3, 3)
+                    if e.dispatches
+                    else 0.0,
+                    "max_ms": round(e.max_s * 1e3, 3),
+                }
+            return out
+
+    def hot_order(self, keys: Iterable[str]) -> List[str]:
+        """*keys* reordered most-hit first (stable for ties).
+
+        This is the stats-aware dispatch hint: representation probing order
+        follows the observed workload, so the dominant query class pays one
+        ``preserves()`` test.  Reordering never changes answers — each query
+        class is preserved by exactly one representation.
+        """
+        ordered = list(keys)
+        with self._lock:
+            counts = {k: e.hits for k, e in self._classes.items()}
+        ordered.sort(key=lambda k: -counts.get(k, 0))
+        return ordered
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._lock:
+            parts = ", ".join(
+                f"{k}={e.hits}" for k, e in sorted(self._classes.items())
+            )
+        return f"RouterStats({parts})"

@@ -1,0 +1,325 @@
+"""Epoch snapshots — the immutable unit of publication for concurrent reads.
+
+A :class:`GraphEngine` session interleaves queries and updates in one
+thread.  The concurrent front (:mod:`repro.service`) needs the opposite
+shape: many reader threads, one writer.  The classic RCU answer is to make
+the readable state *immutable* and swap whole versions atomically — and
+that is exactly what an :class:`Epoch` is:
+
+* the frozen CSR snapshot of ``G`` at one publication point,
+* its compressed representations ``Gr`` / ``Gb`` (built lazily, exactly
+  once, from the epoch's own snapshot — deterministic and canonical, so
+  every thread sees byte-identical artifacts),
+* sealed :class:`~repro.queries.matching.MatchContext` caches shared by
+  every reader pinned to the epoch,
+* the pin/retire lifecycle: readers pin an epoch for the duration of one
+  query (or batch), the writer retires a superseded epoch, and a retired
+  epoch frees its artifact/context memory when its last reader drains.
+
+An epoch speaks the router's session protocol (``artifact`` /
+``context_for`` / ``evaluate_original``), so
+:class:`~repro.engine.router.QueryRouter` dispatches over an epoch exactly
+as it does over a full engine session — same code path, same answers.
+
+The lazy artifact builds use double-checked locking: reads are a plain
+dict probe (no lock), the build itself runs under a per-epoch lock so
+concurrent first readers do the work once.  After :meth:`_free` the epoch
+refuses to build anything new — serving from an unpinned retired epoch is
+a lifecycle bug and raises :class:`EpochRetired` instead of silently
+resurrecting freed state.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional, Union
+
+from repro.core.base import QueryPreservingCompression
+from repro.core.pattern import compress_pattern, compress_pattern_csr
+from repro.core.reachability import compress_reachability, compress_reachability_csr
+from repro.engine.counters import bump
+from repro.engine.router import ORIGINAL
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraph
+from repro.queries.matching import MatchContext, match
+from repro.queries.pattern import GraphPattern
+from repro.queries.reachability import ReachabilityQuery, evaluate_reachability
+
+#: representation key -> catalog variant name.
+CATALOG_VARIANTS = {"reachability": "reachability", "pattern": "bisimulation"}
+
+
+class EpochRetired(RuntimeError):
+    """A freed (retired and fully drained) epoch was asked to serve."""
+
+
+def compress_frozen(
+    key: str,
+    csr: CSRGraph,
+    backend: str = "csr",
+    catalog: Optional[Any] = None,
+    digest: Optional[str] = None,
+    counters: Optional[Dict[str, int]] = None,
+    thawed: Optional[DiGraph] = None,
+) -> QueryPreservingCompression:
+    """Build the *key* artifact for a frozen graph, catalog-aware.
+
+    The one place the "compute ``Gr``/``Gb`` from a snapshot" decision
+    lives: a catalog (csr backend only) serves warm hits with zero
+    recomputation, otherwise the artifact is compressed from the snapshot
+    with the CSR kernels — or, for ``backend="dict"``, from the thawed
+    graph through the reference pipeline (*thawed* lets callers share one
+    thaw across both representations).  Both engine sessions and epochs
+    delegate here, so the two serving paths cannot drift.
+    """
+    if key not in CATALOG_VARIANTS:
+        raise ValueError(f"unknown representation {key!r}")
+    if backend == "csr" and catalog is not None:
+        if digest is None:
+            digest = catalog.put(csr)
+        warm = catalog.has_variant(digest, CATALOG_VARIANTS[key])
+        builder = catalog.reachability if key == "reachability" else catalog.bisimulation
+        artifact = builder(digest)
+        if counters is not None and warm:
+            bump(counters, "catalog_warm_hits")
+        return artifact
+    if backend == "csr":
+        if key == "reachability":
+            return compress_reachability_csr(csr)
+        return compress_pattern_csr(csr)
+    graph = thawed if thawed is not None else csr.to_digraph()
+    if key == "reachability":
+        return compress_reachability(graph, backend="dict")
+    return compress_pattern(graph)
+
+
+class Epoch:
+    """One immutable published version of a graph and its representations.
+
+    Readers never mutate an epoch (lazy builds are internal and idempotent);
+    the writer that published it is the only party that may :meth:`retire`
+    it.  ``version`` is the publication ordinal assigned by the publisher.
+    """
+
+    def __init__(
+        self,
+        csr: CSRGraph,
+        version: int = 0,
+        *,
+        backend: str = "csr",
+        catalog: Optional[Any] = None,
+        digest: Optional[str] = None,
+        counters: Optional[Dict[str, int]] = None,
+    ) -> None:
+        if backend not in ("csr", "dict"):
+            raise ValueError(f"unknown backend: {backend!r} (expected 'csr' or 'dict')")
+        self.version = version
+        self.csr = csr
+        self.backend = backend
+        self._catalog = catalog
+        self._digest = digest
+        #: Shared build counters (the publishing engine's ``counters``).
+        self._counters = counters
+        self._build_lock = threading.RLock()
+        self._artifacts: Dict[str, QueryPreservingCompression] = {}
+        self._contexts: Dict[str, MatchContext] = {}
+        self._thawed: Optional[DiGraph] = None  # dict-backend builds share one thaw
+        # Pin/retire lifecycle (RCU-style grace period accounting).
+        self._pin_lock = threading.Lock()
+        self._pins = 0
+        self._retired = False
+        self._freed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def pins(self) -> int:
+        """Current reader count (diagnostic; racy by nature)."""
+        return self._pins
+
+    @property
+    def retired(self) -> bool:
+        return self._retired
+
+    @property
+    def freed(self) -> bool:
+        """True once retired *and* drained — caches have been released."""
+        return self._freed
+
+    def acquire(self) -> "Epoch":
+        """Pin the epoch for reading.  Publishers call this under their
+        publication lock so a pin can never land on an epoch after its
+        retire decision observed zero readers."""
+        with self._pin_lock:
+            if self._freed:
+                raise EpochRetired(
+                    f"epoch {self.version} was retired and freed; pin the "
+                    "current epoch through the service, not a stale handle"
+                )
+            self._pins += 1
+        return self
+
+    def release(self) -> None:
+        """Unpin; the last reader out of a retired epoch frees it."""
+        free = False
+        with self._pin_lock:
+            if self._pins <= 0:
+                raise RuntimeError("epoch release without a matching acquire")
+            self._pins -= 1
+            if self._retired and self._pins == 0 and not self._freed:
+                self._freed = True
+                free = True
+        if free:
+            self._free()
+
+    def retire(self) -> bool:
+        """Mark superseded (writer-side).  Frees immediately when no reader
+        is pinned; otherwise the last :meth:`release` frees.  Returns True
+        when the memory was released synchronously."""
+        free = False
+        with self._pin_lock:
+            self._retired = True
+            if self._pins == 0 and not self._freed:
+                self._freed = True
+                free = True
+        if free:
+            self._free()
+        return free
+
+    def _free(self) -> None:
+        """Drop the derived state (snapshot stays — it may be catalog-shared)."""
+        with self._build_lock:
+            self._artifacts.clear()
+            self._contexts.clear()
+            self._thawed = None
+
+    def __enter__(self) -> "Epoch":
+        return self.acquire()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()
+
+    # ------------------------------------------------------------------
+    # Router session protocol
+    # ------------------------------------------------------------------
+    def artifact(self, key: str) -> QueryPreservingCompression:
+        """The *key* compression artifact, built exactly once per epoch."""
+        artifact = self._artifacts.get(key)  # lock-free fast path
+        if artifact is not None:
+            return artifact
+        with self._build_lock:
+            artifact = self._artifacts.get(key)
+            if artifact is None:
+                self._check_serving()
+                artifact = compress_frozen(
+                    key,
+                    self.csr,
+                    self.backend,
+                    self._catalog,
+                    self._digest,
+                    self._counters,
+                    thawed=self._thaw() if self.backend == "dict" else None,
+                )
+                self._artifacts[key] = artifact
+                if self._counters is not None:
+                    bump(self._counters, "artifact_builds")
+        return artifact
+
+    def context_for(self, key: str) -> Optional[MatchContext]:
+        """The epoch's shared evaluation cache for representation *key*.
+
+        Pattern and original targets get one sealed
+        :class:`MatchContext` per epoch — built once, then read-only and
+        safely shared by every reader thread; reachability keeps no
+        evaluation state (``None``).
+        """
+        if key == "reachability":
+            return None
+        if key not in ("pattern", ORIGINAL):
+            raise ValueError(f"unknown representation {key!r}")
+        ctx = self._contexts.get(key)  # lock-free fast path
+        if ctx is not None:
+            return ctx
+        with self._build_lock:
+            ctx = self._contexts.get(key)
+            if ctx is None:
+                self._check_serving()
+                if key == "pattern":
+                    ctx = MatchContext(
+                        self.artifact("pattern").compressed, backend=self.backend
+                    )
+                else:
+                    ctx = MatchContext(self.csr)
+                ctx.seal()
+                self._contexts[key] = ctx
+        return ctx
+
+    def evaluate_original(self, query: Any, algorithm: Optional[str] = None) -> Any:
+        """Direct evaluation on the epoch's frozen ``G``."""
+        if isinstance(query, ReachabilityQuery):
+            return evaluate_reachability(
+                self.csr, query.source, query.target,
+                algorithm if algorithm is not None else "bfs",
+            )
+        if isinstance(query, GraphPattern):
+            if algorithm not in (None, "match"):
+                raise ValueError(f"unknown algorithm {algorithm!r}; expected 'match'")
+            return match(query, self.csr, self.context_for(ORIGINAL))
+        raise TypeError(
+            f"cannot evaluate {type(query).__name__} on the original graph; "
+            "expected a ReachabilityQuery or GraphPattern"
+        )
+
+    # ------------------------------------------------------------------
+    def _thaw(self) -> DiGraph:
+        """Thawed copy for dict-backend builds (shared across both keys).
+
+        Callers already hold ``_build_lock``.
+        """
+        if self._thawed is None:
+            self._thawed = self.csr.to_digraph()
+        return self._thawed
+
+    def _check_serving(self) -> None:
+        if self._freed:
+            raise EpochRetired(
+                f"epoch {self.version} was retired and freed; it can no "
+                "longer build representations"
+            )
+
+    def _reset_locks_after_fork(self) -> None:
+        """Re-arm internal locks in a forked child (single-threaded again).
+
+        ``fork`` copies lock *state* but not the threads holding it: a lock
+        a sibling thread held at fork time would stay locked forever in the
+        child.  Worker processes inheriting a prewarmed epoch call this
+        before serving.
+        """
+        self._build_lock = threading.RLock()
+        self._pin_lock = threading.Lock()
+        for ctx in self._contexts.values():
+            ctx._reset_lock_after_fork()
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "nodes": self.csr.n,
+            "edges": self.csr.m,
+            "backend": self.backend,
+            "digest": self._digest,
+            "materialized": sorted(self._artifacts),
+            "pins": self._pins,
+            "retired": self._retired,
+            "freed": self._freed,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Epoch(v{self.version}, |V|={self.csr.n}, |E|={self.csr.m}, "
+            f"pins={self._pins}, retired={self._retired})"
+        )
+
+
+#: Union accepted by helpers that serve either a live session or an epoch.
+ServingTarget = Union["Epoch", Any]

@@ -18,15 +18,29 @@ hoc query classes no representation preserves); ``on`` also accepts a
 representation key (``"reachability"``/``"pattern"``, or the paper
 spellings ``"Gr"``/``"Gb"``) to force one — forcing a representation that
 does not preserve the query class is a ``TypeError``, not a wrong answer.
+
+Dispatch is *stats-aware*: when the serving session carries a
+:class:`~repro.engine.counters.RouterStats`, every dispatch records the
+routed key and its latency there, and ``on="auto"`` probes representations
+most-hit first — the observed workload steers the dispatch order (pure
+overhead trimming: each query class is preserved by exactly one
+representation, so reordering can never change an answer).
+:meth:`QueryRouter.dispatch_batch` is the micro-batching entry point: a
+mixed batch is partitioned per representation and each same-class group is
+answered through the artifact's ``answer_batch`` (shared traversals,
+deduplicated patterns) while keeping strict positional answer equality
+with one-by-one dispatch.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Tuple, Type
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.core.base import QueryPreservingCompression
 from repro.core.pattern import PatternCompression
 from repro.core.reachability import ReachabilityCompression
+from repro.engine.counters import RouterStats
 
 #: The escape-hatch target: evaluate on the original graph.
 ORIGINAL = "original"
@@ -55,16 +69,19 @@ class QueryRouter:
         self._table: List[Tuple[str, Type[QueryPreservingCompression]]] = list(
             representations
         )
-        self._keys = {key for key, _ in self._table}
+        self._classes: Dict[str, Type[QueryPreservingCompression]] = dict(self._table)
+        self._keys = set(self._classes)
 
     # ------------------------------------------------------------------
-    def route(self, query: Any, on: str = "auto") -> str:
+    def route(self, query: Any, on: str = "auto",
+              stats: Optional[RouterStats] = None) -> str:
         """The representation key *query* should run on.
 
         ``on="auto"`` picks the first representation whose artifact class
-        ``preserves`` the query; anything else is validated and returned
-        (``original`` included).  Raises ``TypeError`` for a query no
-        representation preserves, ``ValueError`` for an unknown ``on``.
+        ``preserves`` the query — probed most-hit first when *stats* are
+        supplied; anything else is validated and returned (``original``
+        included).  Raises ``TypeError`` for a query no representation
+        preserves, ``ValueError`` for an unknown ``on``.
         """
         on = ALIASES.get(on, on)
         if on != "auto":
@@ -73,15 +90,18 @@ class QueryRouter:
             if on not in self._keys:
                 known = sorted(self._keys | {ORIGINAL, "auto"})
                 raise ValueError(f"unknown routing target {on!r}; expected one of {known}")
-            cls = dict(self._table)[on]
+            cls = self._classes[on]
             if not cls.preserves(query):
                 raise TypeError(
                     f"representation {on!r} does not preserve "
                     f"{type(query).__name__} queries"
                 )
             return on
-        for key, cls in self._table:
-            if cls.preserves(query):
+        keys: Sequence[str] = [key for key, _ in self._table]
+        if stats is not None:
+            keys = stats.hot_order(keys)
+        for key in keys:
+            if self._classes[key].preserves(query):
                 return key
         raise TypeError(
             f"no representation preserves {type(query).__name__} queries; "
@@ -94,19 +114,81 @@ class QueryRouter:
         session: Any,
         on: str = "auto",
         algorithm: Optional[str] = None,
+        stats: Optional[RouterStats] = None,
     ) -> Any:
         """Route *query* and answer it through *session*'s artifacts.
 
-        *session* is a :class:`repro.engine.session.GraphEngine` (or
-        anything exposing ``artifact(key)``, ``context_for(key)`` and
-        ``evaluate_original(query, algorithm)``).  Compressed routes call
+        *session* is a :class:`repro.engine.session.GraphEngine`, an
+        :class:`repro.engine.epoch.Epoch`, or anything exposing
+        ``artifact(key)``, ``context_for(key)`` and
+        ``evaluate_original(query, algorithm)``.  Compressed routes call
         the artifact's ``answer`` — hypernode results come back already
-        expanded to original nodes.
+        expanded to original nodes.  When *stats* (or ``session.stats``)
+        is present the routed key and latency are recorded there.
         """
-        key = self.route(query, on)
+        if stats is None:
+            stats = getattr(session, "stats", None)
+        key = self.route(query, on, stats=stats)
+        start = time.perf_counter() if stats is not None else 0.0
         if key == ORIGINAL:
-            return session.evaluate_original(query, algorithm=algorithm)
-        artifact = session.artifact(key)
-        return artifact.answer(
-            query, context=session.context_for(key), algorithm=algorithm
-        )
+            answer = session.evaluate_original(query, algorithm=algorithm)
+        else:
+            artifact = session.artifact(key)
+            # Size-1 batch rather than answer(): element-wise identical by
+            # the answer_batch contract, and it keeps single-query dispatch
+            # on the same amortisation paths as batches (notably the
+            # sealed-context answer memo of epoch serving).
+            answer = artifact.answer_batch(
+                [query], context=session.context_for(key), algorithm=algorithm
+            )[0]
+        if stats is not None:
+            stats.record(key, time.perf_counter() - start)
+        return answer
+
+    def dispatch_batch(
+        self,
+        queries: Sequence[Any],
+        session: Any,
+        on: str = "auto",
+        algorithm: Optional[str] = None,
+        stats: Optional[RouterStats] = None,
+    ) -> List[Any]:
+        """Route and answer a mixed batch, sharing work per representation.
+
+        Queries are routed individually, grouped by routed key with their
+        positions, and each group runs through the artifact's
+        ``answer_batch`` (``evaluate_original`` stays per-query — the
+        escape hatch makes no batching promises).  Answers come back in
+        input order and are element-wise identical to dispatching each
+        query alone; per-group latencies land in *stats* with the group
+        size, so hit counts still count queries.
+        """
+        if stats is None:
+            stats = getattr(session, "stats", None)
+        groups: Dict[str, List[int]] = {}
+        routed: List[str] = []
+        for i, q in enumerate(queries):
+            key = self.route(q, on, stats=stats)
+            routed.append(key)
+            groups.setdefault(key, []).append(i)
+        answers: List[Any] = [None] * len(routed)
+        for key, positions in groups.items():
+            start = time.perf_counter() if stats is not None else 0.0
+            if key == ORIGINAL:
+                for i in positions:
+                    answers[i] = session.evaluate_original(
+                        queries[i], algorithm=algorithm
+                    )
+            else:
+                artifact = session.artifact(key)
+                group_answers = artifact.answer_batch(
+                    [queries[i] for i in positions],
+                    context=session.context_for(key),
+                    algorithm=algorithm,
+                )
+                for i, answer in zip(positions, group_answers):
+                    answers[i] = answer
+            if stats is not None:
+                stats.record(key, time.perf_counter() - start,
+                             queries=len(positions))
+        return answers

@@ -37,8 +37,10 @@ from pathlib import Path
 from typing import Any, Dict, Hashable, Iterable, List, NamedTuple, Optional, Union
 
 from repro.core.base import QueryPreservingCompression
-from repro.core.pattern import compress_pattern, compress_pattern_csr
-from repro.core.reachability import compress_reachability, compress_reachability_csr
+from repro.core.pattern import compress_pattern
+from repro.core.reachability import compress_reachability
+from repro.engine.counters import RouterStats, bump
+from repro.engine.epoch import Epoch, compress_frozen
 from repro.engine.router import ORIGINAL, QueryRouter
 from repro.engine.updates import (
     MAINTAINERS,
@@ -152,6 +154,10 @@ class GraphEngine:
             "refreezes": 0,
             "queries": 0,
         }
+        #: Per-class routing statistics (:mod:`repro.engine.counters`) —
+        #: hit counts and latencies per representation key, recorded by
+        #: every dispatch and consumed by the router's hot-first probing.
+        self.stats = RouterStats()
 
     @staticmethod
     def _load(path: Path) -> Union[DiGraph, CSRGraph]:
@@ -211,7 +217,7 @@ class GraphEngine:
         self._contexts.clear()  # "original" contexts re-anchor to the snapshot
         self._digest = None
         if was_refreeze:
-            self.counters["refreezes"] += 1
+            bump(self.counters, "refreezes")
         if self._catalog is not None:
             self._digest = self._catalog.put(merged)
         return merged
@@ -245,7 +251,9 @@ class GraphEngine:
                 raise ValueError(f"unknown representation {key!r}") from None
             artifact = build()
             self._artifacts[key] = artifact
-            self.counters["artifact_builds"] += 1
+            # bump(): the counters dict is shared with published epochs,
+            # whose reader threads increment the same slots concurrently.
+            bump(self.counters, "artifact_builds")
         return artifact
 
     def reachability(self) -> QueryPreservingCompression:
@@ -258,24 +266,18 @@ class GraphEngine:
 
     def _build_reachability(self) -> QueryPreservingCompression:
         if self.backend == "csr":
-            if self._catalog is not None:
-                self.freeze()
-                warm = self._catalog.has_variant(self._digest, "reachability")
-                artifact = self._catalog.reachability(self._digest)
-                self.counters["catalog_warm_hits"] += int(warm)
-                return artifact
-            return compress_reachability_csr(self.freeze())
+            return compress_frozen(
+                "reachability", self.freeze(), "csr",
+                self._catalog, self._digest, self.counters,
+            )
         return compress_reachability(self.graph, backend="dict")
 
     def _build_pattern(self) -> QueryPreservingCompression:
         if self.backend == "csr":
-            if self._catalog is not None:
-                self.freeze()
-                warm = self._catalog.has_variant(self._digest, "bisimulation")
-                artifact = self._catalog.bisimulation(self._digest)
-                self.counters["catalog_warm_hits"] += int(warm)
-                return artifact
-            return compress_pattern_csr(self.freeze())
+            return compress_frozen(
+                "pattern", self.freeze(), "csr",
+                self._catalog, self._digest, self.counters,
+            )
         return compress_pattern(self.graph)
 
     # ------------------------------------------------------------------
@@ -340,8 +342,16 @@ class GraphEngine:
 
     def query_batch(self, qs: Iterable[Any], *, on: str = "auto",
                     algorithm: Optional[str] = None) -> List[Any]:
-        """Answer a batch, sharing the session cache across all of it."""
-        return [self.query(q, on=on, algorithm=algorithm) for q in qs]
+        """Answer a batch, sharing the session cache across all of it.
+
+        Batches go through the router's micro-batching dispatch: same-class
+        groups share one ``answer_batch`` call (shared traversals on ``Gr``,
+        deduplicated patterns on ``Gb``) with answers element-wise identical
+        to one-by-one :meth:`query` calls.
+        """
+        queries = list(qs)
+        self.counters["queries"] += len(queries)
+        return self._router.dispatch_batch(queries, self, on=on, algorithm=algorithm)
 
     def evaluate_original(self, query: Any,
                           algorithm: Optional[str] = None) -> Any:
@@ -359,6 +369,28 @@ class GraphEngine:
         raise TypeError(
             f"cannot evaluate {type(query).__name__} on the original graph; "
             "expected a ReachabilityQuery or GraphPattern"
+        )
+
+    # ------------------------------------------------------------------
+    # Publication
+    # ------------------------------------------------------------------
+    def epoch(self, version: int = 0) -> Epoch:
+        """Publish the current graph as an immutable :class:`Epoch`.
+
+        Freezes (folding any pending delta) and hands the snapshot — with
+        the catalog/digest wiring and this session's build counters — to a
+        new epoch.  The epoch serves reads on its own; this session stays
+        the single writer.  The concurrent front
+        (:mod:`repro.service`) calls this after every update batch.
+        """
+        csr = self.freeze()
+        return Epoch(
+            csr,
+            version,
+            backend=self.backend,
+            catalog=self._catalog,
+            digest=self._digest,
+            counters=self.counters,
         )
 
     # ------------------------------------------------------------------

@@ -19,7 +19,7 @@ the benchmarks need:
 from __future__ import annotations
 
 import random
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Hashable, List, Optional, Sequence
 
 from repro.graph.digraph import DEFAULT_LABEL, DiGraph
 

@@ -17,8 +17,7 @@ property (Lemma 1 of [9]) guarantees the result equals a from-scratch
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Dict, Hashable, Iterable, List, Set, Tuple
+from typing import Hashable, Iterable, List, Set, Tuple
 
 from repro.graph.digraph import DiGraph
 from repro.queries.matching import MatchContext, MatchResult, match

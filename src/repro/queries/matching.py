@@ -28,7 +28,8 @@ the definition.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Set, Union
+import threading
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Set, Union
 
 from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph, NodeIndexer
@@ -90,6 +91,18 @@ class MatchContext:
     session cache, which matches patterns straight off a catalog-loaded
     snapshot.  Such a context has ``graph is None`` and cannot be
     ``invalidate``\\ d (snapshots are immutable; freeze a new one instead).
+
+    Thread safety
+    -------------
+    All lazy cache builds run under an internal reentrant lock with a
+    lock-free fast path for already-built entries, so one context can be
+    shared by concurrent reader threads (the epoch snapshots of
+    :mod:`repro.engine.epoch` rely on this): a cache entry is computed
+    exactly once and never mutated after it is published.  :meth:`seal`
+    additionally forbids :meth:`invalidate`, turning the context into a
+    permanently read-only shared cache; :meth:`prepare` pre-builds the
+    caches eagerly (e.g. before forking worker processes, so children
+    share the bitsets via copy-on-write instead of each building its own).
     """
 
     def __init__(
@@ -120,12 +133,18 @@ class MatchContext:
         self._star: Optional[Dict[Node, int]] = None
         self._label_bits: Dict[str, int] = {}
         self._label_masks: Optional[Dict[str, int]] = None
+        # Reentrant: bounded_reach(k) builds bounded_reach(k-1) while held.
+        self._cache_lock = threading.RLock()
+        self._sealed = False
+        self._answer_memo: Optional[Dict[Any, Any]] = None
 
     # -- frozen snapshot --------------------------------------------------
     def frozen(self) -> CSRGraph:
         """The freeze-once CSR snapshot backing the fast paths (lazy)."""
         if self._csr is None:
-            self._csr = CSRGraph.from_digraph(self.graph)
+            with self._cache_lock:
+                if self._csr is None:
+                    self._csr = CSRGraph.from_digraph(self.graph)
         return self._csr
 
     # -- candidates ------------------------------------------------------
@@ -137,41 +156,51 @@ class MatchContext:
             # stays the dict backend's per-label cache.
             masks = self._label_masks
             if masks is None:
-                csr = self.frozen()
-                by_code = [0] * len(csr.label_names)
-                for i, code in enumerate(csr.label_codes()):
-                    by_code[code] |= 1 << i
-                masks = dict(zip(csr.label_names, by_code))
-                self._label_masks = masks
+                with self._cache_lock:
+                    masks = self._label_masks
+                    if masks is None:
+                        csr = self.frozen()
+                        by_code = [0] * len(csr.label_names)
+                        for i, code in enumerate(csr.label_codes()):
+                            by_code[code] |= 1 << i
+                        masks = dict(zip(csr.label_names, by_code))
+                        self._label_masks = masks
             return masks.get(label, 0)
         cached = self._label_bits.get(label)
         if cached is None:
-            cached = self.indexer.bitset(self.graph.nodes_with_label(label))
-            self._label_bits[label] = cached
+            with self._cache_lock:
+                cached = self._label_bits.get(label)
+                if cached is None:
+                    cached = self.indexer.bitset(self.graph.nodes_with_label(label))
+                    self._label_bits[label] = cached
         return cached
 
     # -- reachability ------------------------------------------------------
     def adjacency_bitsets(self) -> Dict[Node, int]:
         """``reach_1``: successor bitsets."""
         if self._adjacency is None:
-            if self.backend == "csr":
-                csr = self.frozen()
-                indptr, indices = csr.fwd()
-                bits = [1 << i for i in range(csr.n)]
-                node_of = self.indexer.node
-                adjacency: Dict[Node, int] = {}
-                for i in range(csr.n):
-                    mask = 0
-                    for ei in range(indptr[i], indptr[i + 1]):
-                        mask |= bits[indices[ei]]
-                    adjacency[node_of(i)] = mask
-                self._adjacency = adjacency
-            else:
-                self._adjacency = {
-                    v: self.indexer.bitset(self.graph.successors(v))
-                    for v in self.graph.nodes()
-                }
+            with self._cache_lock:
+                if self._adjacency is None:
+                    self._adjacency = self._build_adjacency()
         return self._adjacency
+
+    def _build_adjacency(self) -> Dict[Node, int]:
+        if self.backend == "csr":
+            csr = self.frozen()
+            indptr, indices = csr.fwd()
+            bits = [1 << i for i in range(csr.n)]
+            node_of = self.indexer.node
+            adjacency: Dict[Node, int] = {}
+            for i in range(csr.n):
+                mask = 0
+                for ei in range(indptr[i], indptr[i + 1]):
+                    mask |= bits[indices[ei]]
+                adjacency[node_of(i)] = mask
+            return adjacency
+        return {
+            v: self.indexer.bitset(self.graph.successors(v))
+            for v in self.graph.nodes()
+        }
 
     def bounded_reach(self, bound: int) -> Dict[Node, int]:
         """``reach_bound``: nodes within 1..bound hops, as bitsets.
@@ -179,43 +208,49 @@ class MatchContext:
         ``reach_k(v) = reach_1(v) ∪ ⋃_{c ∈ succ(v)} reach_{k-1}(c)``,
         computed by ``bound - 1`` rounds of adjacency composition.
         """
-        if bound in self._bounded:
-            return self._bounded[bound]
-        adj = self.adjacency_bitsets()
-        if bound == 1:
-            self._bounded[1] = adj
-            return adj
-        prev = self.bounded_reach(bound - 1)
-        current: Dict[Node, int] = {}
-        if self.backend == "csr":
-            csr = self.frozen()
-            indptr, indices = csr.fwd()
-            node_of = self.indexer.node
-            for i in range(csr.n):
-                v = node_of(i)
-                mask = adj[v]
-                for ei in range(indptr[i], indptr[i + 1]):
-                    mask |= prev[node_of(indices[ei])]
-                current[v] = mask
-        else:
-            for v in self.graph.nodes():
-                mask = adj[v]
-                for c in self.graph.successors(v):
-                    mask |= prev[c]
-                current[v] = mask
-        self._bounded[bound] = current
-        return current
+        cached = self._bounded.get(bound)
+        if cached is not None:
+            return cached
+        with self._cache_lock:
+            cached = self._bounded.get(bound)
+            if cached is not None:
+                return cached
+            adj = self.adjacency_bitsets()
+            if bound == 1:
+                self._bounded[1] = adj
+                return adj
+            prev = self.bounded_reach(bound - 1)
+            current: Dict[Node, int] = {}
+            if self.backend == "csr":
+                csr = self.frozen()
+                indptr, indices = csr.fwd()
+                node_of = self.indexer.node
+                for i in range(csr.n):
+                    v = node_of(i)
+                    mask = adj[v]
+                    for ei in range(indptr[i], indptr[i + 1]):
+                        mask |= prev[node_of(indices[ei])]
+                    current[v] = mask
+            else:
+                for v in self.graph.nodes():
+                    mask = adj[v]
+                    for c in self.graph.successors(v):
+                        mask |= prev[c]
+                    current[v] = mask
+            self._bounded[bound] = current
+            return current
 
     def star_reach(self) -> Dict[Node, int]:
         """``reach_*``: strict descendants (nonempty paths), via condensation."""
         if self._star is not None:
             return self._star
-        if self.backend == "csr":
-            star = self._star_reach_csr()
-        else:
-            star = self._star_reach_dict()
-        self._star = star
-        return star
+        with self._cache_lock:
+            if self._star is None:
+                if self.backend == "csr":
+                    self._star = self._star_reach_csr()
+                else:
+                    self._star = self._star_reach_dict()
+            return self._star
 
     def _star_reach_dict(self) -> Dict[Node, int]:
         """Reference implementation over the mutable dict backend."""
@@ -276,20 +311,130 @@ class MatchContext:
     def reach(self, bound: Bound) -> Dict[Node, int]:
         return self.star_reach() if bound == STAR else self.bounded_reach(bound)
 
+    # -- sharing contract -------------------------------------------------
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    def seal(self) -> "MatchContext":
+        """Mark the context permanently read-only (no :meth:`invalidate`).
+
+        Sealed contexts are the sharing contract of the epoch snapshots:
+        caches may still build lazily (exactly once, under the internal
+        lock) but the graph they describe can never be swapped out from
+        under a concurrent reader.  Returns ``self`` for chaining.
+        """
+        self._sealed = True
+        return self
+
+    #: Soft cap on memoised answers per context (safety valve; a serving
+    #: workload's hot-pattern pool is orders of magnitude smaller).
+    MEMO_CAP = 4096
+
+    def memo_compute(self, key: Any, compute: "Any") -> Any:
+        """Compute-once answer memoisation with in-flight coalescing.
+
+        Sealed contexts only (an immutable graph makes whole-answer
+        caching always sound); unsealed contexts just call *compute*.
+        Concurrent callers with the same *key* coalesce: one computes,
+        the rest block on its completion instead of duplicating the work
+        — the difference between N workers each evaluating a hot pattern
+        and one evaluation serving all N.  The memoised object is the
+        canonical copy; callers must not hand it out without copying.
+        A failed computation is forgotten (the next caller retries).
+        """
+        if not self._sealed:
+            return compute()
+        with self._cache_lock:
+            if self._answer_memo is None:
+                self._answer_memo = {}
+            memo = self._answer_memo
+        event: Optional[threading.Event] = None
+        while True:
+            with self._cache_lock:
+                entry = memo.get(key)
+                if entry is None:
+                    if len(memo) < self.MEMO_CAP:  # else: compute unmemoised
+                        event = threading.Event()
+                        memo[key] = ("pending", event)
+                    break
+                kind, payload = entry
+                if kind == "done":
+                    return payload
+                waiter = payload
+            # Another thread is computing this key: block on it, then
+            # re-read — done (return), vanished after a failure (retry),
+            # or genuinely long-running (keep waiting).
+            waiter.wait(timeout=300.0)
+        try:
+            result = compute()
+        except BaseException:
+            if event is not None:
+                with self._cache_lock:
+                    if memo.get(key) == ("pending", event):
+                        del memo[key]
+                event.set()  # wake waiters; they will retry
+            raise
+        if event is not None:
+            with self._cache_lock:
+                if memo.get(key) == ("pending", event):
+                    memo[key] = ("done", result)
+            event.set()
+        return result
+
+    def prepare(self, bounds: Iterable[Bound] = ()) -> "MatchContext":
+        """Eagerly build the caches (adjacency, *bounds*, label candidates).
+
+        Pre-warming matters when the context is about to be shared with
+        forked worker processes: built bitsets are inherited copy-on-write
+        instead of recomputed per child.  Returns ``self`` for chaining.
+        """
+        with self._cache_lock:
+            self.adjacency_bitsets()
+            for bound in bounds:
+                self.reach(bound)
+            if self.backend == "csr":
+                self.label_candidates("")  # builds every label's mask at once
+            else:
+                for label in self.graph.label_set():
+                    self.label_candidates(label)
+        return self
+
+    def _reset_lock_after_fork(self) -> None:
+        """Re-arm the cache lock in a forked child (see ``Epoch``).
+
+        In-flight ``pending`` memo entries are dropped too: the thread
+        computing them did not survive the fork, so a child waiting on
+        their event would block forever.  Completed entries stay — they
+        are plain values and perfectly valid in the child.
+        """
+        self._cache_lock = threading.RLock()
+        if self._answer_memo is not None:
+            self._answer_memo = {
+                key: entry for key, entry in self._answer_memo.items()
+                if entry[0] == "done"
+            }
+
     def invalidate(self) -> None:
         """Drop caches after the underlying graph changed."""
+        if self._sealed:
+            raise ValueError(
+                "this context is sealed (shared read-only across threads); "
+                "build a new context for a changed graph"
+            )
         if self.graph is None:
             raise ValueError(
                 "a snapshot-backed context has no mutable graph to refresh; "
                 "freeze a new snapshot and build a new context"
             )
-        self.indexer = NodeIndexer(self.graph.node_list())
-        self._csr = None
-        self._label_masks = None
-        self._adjacency = None
-        self._bounded.clear()
-        self._star = None
-        self._label_bits.clear()
+        with self._cache_lock:
+            self.indexer = NodeIndexer(self.graph.node_list())
+            self._csr = None
+            self._label_masks = None
+            self._adjacency = None
+            self._bounded.clear()
+            self._star = None
+            self._label_bits.clear()
 
 
 def match(

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Optional, Set
 
-from repro.graph.digraph import DiGraph, NodeIndexer
+from repro.graph.digraph import DiGraph
 from repro.queries.matching import MatchContext, MatchResult
 from repro.queries.pattern import GraphPattern
 

@@ -1,0 +1,26 @@
+"""Concurrent serving front over the query engine.
+
+* :mod:`repro.service.front` — :class:`EngineService`, the thread-safe
+  single-writer/many-reader session: immutable epoch snapshots published
+  RCU-style, lock-free read paths, writer-lock-guarded ``apply``;
+* :mod:`repro.service.executor` — :class:`QueryExecutor`, the worker pool
+  (threads or forked processes) with adaptive micro-batching and
+  future-based submission;
+* :mod:`repro.service.epoch_stress` — the randomized reader/writer stress
+  harness both the tests and ``python -m repro.bench service`` run.
+
+See ``src/repro/service/README.md`` for the epoch lifecycle diagram and
+the reader/writer contract.
+"""
+
+from repro.service.epoch_stress import build_schedule, freeze_answer, run_stress
+from repro.service.executor import QueryExecutor
+from repro.service.front import EngineService
+
+__all__ = [
+    "EngineService",
+    "QueryExecutor",
+    "run_stress",
+    "build_schedule",
+    "freeze_answer",
+]

@@ -1,0 +1,479 @@
+"""``QueryExecutor`` — a worker pool with adaptive micro-batching.
+
+The serving shape the ROADMAP asks for: callers ``submit`` first-class
+query objects and get :class:`concurrent.futures.Future`\\ s back; a pool
+of workers drains the queue.  Two pool modes share one API:
+
+* ``mode="thread"`` (default) — worker *threads*.  Every worker that
+  wakes up drains whatever compatible single-query tasks are already
+  queued (up to ``max_batch``) into one micro-batch: the batch pins one
+  epoch, dispatches through
+  :meth:`~repro.engine.router.QueryRouter.dispatch_batch`, and therefore
+  shares one :class:`~repro.queries.matching.MatchContext` and one
+  traversal per same-class group.  The batch size *adapts to load* — an
+  idle service evaluates single queries with no added latency, a busy one
+  amortises per-query overhead across whole groups.  Under CPython's GIL
+  threads do not add CPU parallelism; micro-batching is what moves
+  single-core throughput, and threads keep readers fully concurrent with
+  the writer (``apply`` never blocks a reader).
+* ``mode="fork"`` — worker *processes* (POSIX fork), for CPU-parallel
+  throughput on multi-core hosts.  The pool pins the current epoch,
+  pre-warms its artifacts and evaluation contexts, then forks: children
+  inherit the frozen graph, ``Gr``/``Gb`` and the shared bitset caches
+  via copy-on-write — no serialisation of graph state, only queries and
+  answers cross the pipe.  A publication retires the pool: the next
+  submission transparently drains and re-forks against the new epoch.
+
+Workload statistics flow two ways: per-class hits/latencies land in the
+service's shared :class:`~repro.engine.counters.RouterStats` (feeding the
+router's hot-first dispatch), and the executor keeps its own batching
+aggregates (:meth:`QueryExecutor.workload_stats`).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from typing import Any, Deque, Dict, List, Optional, Sequence
+
+from repro.engine.epoch import Epoch
+from repro.queries.pattern import STAR
+from repro.service.front import EngineService
+
+_MODES = ("thread", "fork")
+
+
+def _resolve(future: "Future[Any]", value: Any = None,
+             exc: Optional[BaseException] = None) -> None:
+    """Set a future's outcome, tolerating a caller-side cancel race.
+
+    A caller that timed out on ``result()`` may ``cancel()`` between our
+    state check and the set call; ``InvalidStateError`` here must never
+    kill a worker or collector thread.
+    """
+    try:
+        if exc is not None:
+            future.set_exception(exc)
+        else:
+            future.set_result(value)
+    except Exception:  # InvalidStateError: cancelled under our feet
+        pass
+
+
+class _Task:
+    """One queued unit: a single query or a caller-built batch."""
+
+    __slots__ = ("queries", "on", "algorithm", "future", "single")
+
+    def __init__(self, queries: List[Any], on: str, algorithm: Optional[str],
+                 future: "Future[Any]", single: bool) -> None:
+        self.queries = queries
+        self.on = on
+        self.algorithm = algorithm
+        self.future = future
+        self.single = single
+
+
+class QueryExecutor:
+    """Concurrent query evaluation over an :class:`EngineService`.
+
+    Parameters
+    ----------
+    service:
+        The concurrent front to serve.  The executor only *reads* through
+        pinned epochs; updates keep going through ``service.apply`` from
+        any thread.
+    workers:
+        Pool size (default: the machine's CPU count).
+    mode:
+        ``"thread"`` or ``"fork"`` (see module docstring).  ``"fork"``
+        requires a POSIX fork platform and should not be mixed with a
+        concurrent writer thread mid-pool — publications are picked up at
+        the next submission boundary.
+    max_batch:
+        Micro-batch ceiling per worker wake-up (thread mode) and chunk
+        size for :meth:`map` fan-out.
+    prewarm_bounds:
+        Pattern-edge bounds eagerly built into the shared ``MatchContext``
+        before forking (fork mode only) so children inherit the bitsets
+        copy-on-write.
+    """
+
+    def __init__(
+        self,
+        service: EngineService,
+        workers: Optional[int] = None,
+        *,
+        mode: str = "thread",
+        max_batch: int = 32,
+        prewarm_bounds: Sequence[Any] = (1, 2, STAR),
+    ) -> None:
+        if mode not in _MODES:
+            raise ValueError(f"unknown mode {mode!r}; expected one of {_MODES}")
+        if mode == "fork" and not hasattr(os, "fork"):
+            raise ValueError("mode='fork' requires a POSIX fork platform")
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.service = service
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.mode = mode
+        self.max_batch = max_batch
+        self.prewarm_bounds = tuple(prewarm_bounds)
+        self._router = service._router
+        self._lock = threading.Lock()
+        self._shutdown = False
+        # -- batching aggregates ---------------------------------------
+        self._agg_lock = threading.Lock()
+        self._agg = {"tasks": 0, "dispatches": 0, "batched_queries": 0,
+                     "max_batch": 0}
+        if mode == "thread":
+            self._queue: Deque[_Task] = deque()
+            self._cv = threading.Condition()
+            self._threads = [
+                threading.Thread(
+                    target=self._worker_loop, name=f"repro-exec-{i}", daemon=True
+                )
+                for i in range(self.workers)
+            ]
+            for t in self._threads:
+                t.start()
+        else:
+            self._pool: Optional[_ForkPool] = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def submit(self, query: Any, *, on: str = "auto",
+               algorithm: Optional[str] = None) -> "Future[Any]":
+        """Queue one query; the future resolves to its answer."""
+        future: "Future[Any]" = Future()
+        self._enqueue(_Task([query], on, algorithm, future, single=True))
+        return future
+
+    def submit_batch(self, queries: Sequence[Any], *, on: str = "auto",
+                     algorithm: Optional[str] = None) -> "Future[List[Any]]":
+        """Queue a caller-built batch; the future resolves to the answer
+        list (input order).  The whole batch evaluates on one epoch."""
+        future: "Future[List[Any]]" = Future()
+        self._enqueue(_Task(list(queries), on, algorithm, future, single=False))
+        return future
+
+    def map(self, queries: Sequence[Any], *, on: str = "auto",
+            algorithm: Optional[str] = None) -> List[Any]:
+        """Evaluate *queries* across the pool; blocks, preserves order.
+
+        Fan-out is chunked at ``max_batch`` so every worker gets whole
+        micro-batches — the high-throughput bulk entry point.
+        """
+        queries = list(queries)
+        futures = [
+            self.submit_batch(queries[i:i + self.max_batch], on=on,
+                              algorithm=algorithm)
+            for i in range(0, len(queries), self.max_batch)
+        ]
+        out: List[Any] = []
+        for f in futures:
+            out.extend(f.result())
+        return out
+
+    def workload_stats(self) -> Dict[str, Any]:
+        """Executor-side batching aggregates plus the shared per-class stats."""
+        with self._agg_lock:
+            agg = dict(self._agg)
+        agg["mean_batch"] = (
+            round(agg["batched_queries"] / agg["dispatches"], 2)
+            if agg["dispatches"] else 0.0
+        )
+        agg["per_class"] = self.service.stats.snapshot()
+        return agg
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the pool.  With ``wait`` the queue drains first; without,
+        still-queued futures are cancelled."""
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+        if self.mode == "thread":
+            with self._cv:
+                if not wait:
+                    while self._queue:
+                        task = self._queue.popleft()
+                        task.future.cancel()
+                self._cv.notify_all()
+            if wait:
+                for t in self._threads:
+                    t.join()
+        else:
+            with self._lock:
+                pool, self._pool = self._pool, None
+            if pool is not None:
+                pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "QueryExecutor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Thread mode
+    # ------------------------------------------------------------------
+    def _enqueue(self, task: _Task) -> None:
+        if self.mode == "fork":
+            self._submit_fork(task)
+            return
+        with self._cv:
+            if self._shutdown:
+                raise RuntimeError("executor is shut down")
+            self._queue.append(task)
+            self._cv.notify()
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cv:
+                while not self._queue and not self._shutdown:
+                    self._cv.wait()
+                if not self._queue:
+                    return  # shutdown with a drained queue
+                first = self._queue.popleft()
+                tasks = [first]
+                if first.single:
+                    # Adaptive micro-batching: absorb whatever compatible
+                    # single-query tasks are already waiting — batch size
+                    # follows the instantaneous backlog.
+                    budget = self.max_batch - 1
+                    while (budget > 0 and self._queue and self._queue[0].single
+                           and self._queue[0].on == first.on
+                           and self._queue[0].algorithm == first.algorithm):
+                        tasks.append(self._queue.popleft())
+                        budget -= 1
+            self._run_tasks(tasks)
+
+    def _run_tasks(self, tasks: List[_Task]) -> None:
+        # Transition every future to RUNNING (dropping ones the caller
+        # cancelled while queued) so a later cancel() cannot race the
+        # result-setting below.
+        running = [t for t in tasks if t.future.set_running_or_notify_cancel()]
+        # Route each task's queries up front: one caller's unroutable
+        # query must fail that caller alone, never its batch-mates.
+        live: List[_Task] = []
+        for task in running:
+            try:
+                for q in task.queries:
+                    self._router.route(q, task.on)
+            except (TypeError, ValueError) as exc:
+                _resolve(task.future, exc=exc)
+                continue
+            live.append(task)
+        if not live:
+            return
+        queries: List[Any] = []
+        for task in live:
+            queries.extend(task.queries)
+        try:
+            with self.service.pin() as epoch:
+                version = epoch.version
+                answers = self._router.dispatch_batch(
+                    queries, epoch, on=live[0].on,
+                    algorithm=live[0].algorithm, stats=self.service.stats,
+                )
+        except BaseException as exc:  # propagate through every future
+            for task in live:
+                _resolve(task.future, exc=exc)
+            return
+        self._note_dispatch(len(live), len(queries))
+        i = 0
+        for task in live:
+            chunk = answers[i:i + len(task.queries)]
+            i += len(task.queries)
+            # Which epoch answered — the stress harness correlates
+            # answers with the exact graph they were computed on.
+            task.future.epoch_version = version  # type: ignore[attr-defined]
+            _resolve(task.future, chunk[0] if task.single else chunk)
+
+    def _note_dispatch(self, tasks: int, queries: int) -> None:
+        with self._agg_lock:
+            self._agg["tasks"] += tasks
+            self._agg["dispatches"] += 1
+            self._agg["batched_queries"] += queries
+            if queries > self._agg["max_batch"]:
+                self._agg["max_batch"] = queries
+
+    # ------------------------------------------------------------------
+    # Fork mode
+    # ------------------------------------------------------------------
+    def _submit_fork(self, task: _Task) -> None:
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeError("executor is shut down")
+            pool = self._pool
+            if pool is None or pool.version != self.service.version:
+                if pool is not None:
+                    self._pool = None  # never re-shutdown on a failed respawn
+                    pool.shutdown(wait=True)  # drain the superseded epoch
+                pool = _ForkPool(self)
+                self._pool = pool
+        start = time.perf_counter()
+
+        def note(_f: "Future[Any]", n: int = len(task.queries)) -> None:
+            if _f.cancelled() or _f.exception() is not None:
+                return  # never evaluated (or failed): not served workload
+            self._note_dispatch(1, n)
+            # Parent-side stats: children cannot write the shared
+            # RouterStats, so attribute the task's wall time to the routed
+            # classes here (hit counts exact, latencies approximate).
+            elapsed = time.perf_counter() - start
+            by_key: Dict[str, int] = {}
+            for q in task.queries:
+                try:
+                    key = self._router.route(q, task.on)
+                except (TypeError, ValueError):
+                    continue
+                by_key[key] = by_key.get(key, 0) + 1
+            for key, count in by_key.items():
+                self.service.stats.record(key, elapsed, queries=count)
+
+        task.future.add_done_callback(note)
+        pool.submit(task)
+
+
+def _fork_worker(epoch: Epoch, router: Any, task_q: Any, result_q: Any) -> None:
+    """Worker-process main loop (runs in the forked child).
+
+    The epoch (snapshot, artifacts, sealed contexts) was inherited through
+    fork — copy-on-write, never pickled.  Locks are re-armed first: fork
+    copies lock state but not the threads that held them.
+    """
+    epoch._reset_locks_after_fork()
+    while True:
+        item = task_q.get()
+        if item is None:
+            return
+        task_id, on, algorithm, queries = item
+        try:
+            answers = router.dispatch_batch(
+                queries, epoch, on=on, algorithm=algorithm, stats=None
+            )
+            result_q.put((task_id, True, answers, epoch.version))
+        except BaseException as exc:
+            result_q.put((task_id, False, f"{type(exc).__name__}: {exc}",
+                          epoch.version))
+
+
+class _ForkPool:
+    """A fork-based worker pool bound to one pinned epoch."""
+
+    def __init__(self, executor: QueryExecutor) -> None:
+        import multiprocessing
+
+        self._mp = multiprocessing.get_context("fork")
+        service = executor.service
+        self._epoch = service._acquire_current()  # pinned for the pool's life
+        self._released = False
+        try:
+            self.version = self._epoch.version
+            # Pre-warm so children inherit everything copy-on-write.
+            for key in ("reachability", "pattern"):
+                self._epoch.artifact(key)
+            for key in ("pattern", "original"):
+                ctx = self._epoch.context_for(key)
+                if ctx is not None:
+                    ctx.prepare(bounds=executor.prewarm_bounds)
+            self._task_q = self._mp.SimpleQueue()
+            self._result_q = self._mp.SimpleQueue()
+            self._procs = [
+                self._mp.Process(
+                    target=_fork_worker,
+                    args=(self._epoch, executor._router, self._task_q,
+                          self._result_q),
+                    daemon=True,
+                )
+                for _ in range(executor.workers)
+            ]
+            for p in self._procs:
+                p.start()
+            self._pending_lock = threading.Lock()
+            self._pending: Dict[int, _Task] = {}
+            self._next_id = 0
+            self._collector = threading.Thread(
+                target=self._collect, name="repro-exec-collector", daemon=True
+            )
+            self._collector.start()
+        except BaseException:
+            # A failed pre-warm or spawn must not leak the pin — a retired
+            # epoch with a leaked pin never drains its memory.
+            self._released = True
+            self._epoch.release()
+            raise
+
+    def submit(self, task: _Task) -> None:
+        # Once shipped to a worker process the task cannot be recalled:
+        # transition to RUNNING now (a pre-submit cancel is honoured here).
+        if not task.future.set_running_or_notify_cancel():
+            return
+        with self._pending_lock:
+            task_id = self._next_id
+            self._next_id += 1
+            self._pending[task_id] = task
+        self._task_q.put((task_id, task.on, task.algorithm, task.queries))
+
+    def _collect(self) -> None:
+        while True:
+            item = self._result_q.get()
+            if item is None:
+                return
+            task_id, ok, payload, version = item
+            with self._pending_lock:
+                task = self._pending.pop(task_id, None)
+            if task is None:
+                continue
+            task.future.epoch_version = version  # type: ignore[attr-defined]
+            if ok:
+                _resolve(task.future, payload[0] if task.single else payload)
+            else:
+                _resolve(task.future, exc=RuntimeError(
+                    f"fork worker failed: {payload}"
+                ))
+
+    def shutdown(self, wait: bool = True) -> None:
+        if wait:
+            # Wait for every pending future (results keep flowing while
+            # we wait; workers exit on their sentinel afterwards).
+            stuck = False
+            while not stuck:
+                with self._pending_lock:
+                    pending = [t.future for t in self._pending.values()]
+                if not pending:
+                    break
+                for f in pending:
+                    try:
+                        f.exception(timeout=60.0)
+                    except TimeoutError:  # pragma: no cover - hung worker
+                        stuck = True
+                        break
+        for _ in self._procs:
+            self._task_q.put(None)
+        for p in self._procs:
+            p.join(timeout=60.0)
+        self._result_q.put(None)
+        self._collector.join(timeout=60.0)
+        with self._pending_lock:
+            dropped = list(self._pending.values())
+            self._pending.clear()
+        for task in dropped:
+            # Already RUNNING (cancel would refuse): fail them explicitly.
+            _resolve(task.future, exc=RuntimeError(
+                "executor shut down before the fork pool answered"
+            ))
+        if not self._released:
+            self._released = True
+            self._epoch.release()
+
+
+__all__ = ["QueryExecutor"]

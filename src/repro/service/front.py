@@ -1,0 +1,265 @@
+"""``EngineService`` — the thread-safe concurrent front over ``GraphEngine``.
+
+The paper's economics are *compress once, query forever*; the ROADMAP's
+target is heavy concurrent traffic.  This module is the bridge: one
+single-writer :class:`~repro.engine.session.GraphEngine` owns the mutable
+lifecycle, and every published version of the graph is an immutable
+:class:`~repro.engine.epoch.Epoch` that any number of reader threads query
+without taking the writer's locks.
+
+Concurrency contract (RCU-style):
+
+* **readers** pin the current epoch for the duration of one query or
+  batch (:meth:`EngineService.pin` — a reference-count bump under a
+  micro-lock; the evaluation itself is lock-free over immutable state);
+* **the writer** (:meth:`EngineService.apply`) is serialised by a writer
+  lock: it drives the update batch through the engine, freezes, and
+  *publishes* a new epoch by swapping one reference; in-flight readers
+  keep answering on their pinned epoch — answers are always exact for
+  the epoch's graph;
+* **retired epochs** free their artifact/context memory as soon as their
+  reader count drains (immediately, when nobody was pinned).
+
+Every epoch's answers equal from-scratch evaluation on that epoch's graph
+— the stress harness (:mod:`repro.service.epoch_stress`) verifies exactly
+that against replayed update journals, across backends and hash seeds.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.engine.counters import RouterStats
+from repro.engine.epoch import Epoch
+from repro.engine.router import QueryRouter
+from repro.engine.session import GraphEngine, GraphSource, UpdateReport
+from repro.engine.updates import EdgeUpdate, UpdateJournal, effective_updates
+from repro.graph.digraph import DiGraph
+
+
+class EngineService:
+    """A concurrent query service over one graph and its compressions.
+
+    Parameters
+    ----------
+    source, catalog, backend, router:
+        Forwarded to the underlying single-writer
+        :class:`~repro.engine.session.GraphEngine` (same adoption
+        semantics for a ``DiGraph`` source).  The engine's auto-refreeze
+        is disabled — the service freezes at every publication anyway.
+    journal:
+        When true, keep the writer-side :class:`UpdateJournal` (plus a
+        copy of the initial graph) so :meth:`graph_at` can reconstruct
+        any epoch's exact graph.  Verification machinery — leave off in
+        production unless you need time travel; it grows with the update
+        history.
+    """
+
+    def __init__(
+        self,
+        source: GraphSource,
+        catalog: Optional[Any] = None,
+        *,
+        backend: str = "csr",
+        router: Optional[QueryRouter] = None,
+        journal: bool = False,
+    ) -> None:
+        self._engine = GraphEngine(
+            source, catalog, backend=backend, refreeze_threshold=None, router=router
+        )
+        self._router = router if router is not None else QueryRouter()
+        #: Shared per-class routing stats — one instance across all reader
+        #: threads and executor workers (feeds the router's hot-first probe).
+        self.stats = RouterStats()
+        self._writer_lock = threading.RLock()
+        self._publish_lock = threading.Lock()
+        self._journal = UpdateJournal() if journal else None
+        self._journal_base: Optional[DiGraph] = (
+            self._engine.graph.copy() if journal else None
+        )
+        self._closed = False
+        self._version = 0
+        self._current: Epoch = self._engine.epoch(0)
+        #: Retired epochs whose readers have not drained yet (diagnostics).
+        self._draining: List[Epoch] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Version of the current epoch (publication ordinal)."""
+        return self._version
+
+    @property
+    def backend(self) -> str:
+        return self._engine.backend
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """The underlying engine's lifecycle counters."""
+        return self._engine.counters
+
+    @property
+    def current(self) -> Epoch:
+        """The current epoch, *unpinned* — peek only.  Query through
+        :meth:`pin`/:meth:`query` so publication cannot free state under
+        you."""
+        return self._current
+
+    def draining(self) -> List[Epoch]:
+        """Retired epochs still pinned by in-flight readers (diagnostic)."""
+        with self._publish_lock:
+            self._draining = [e for e in self._draining if not e.freed]
+            return list(self._draining)
+
+    def describe(self) -> Dict[str, Any]:
+        epoch = self._current
+        return {
+            "version": self._version,
+            "backend": self.backend,
+            "draining": len(self.draining()),
+            "closed": self._closed,
+            "epoch": epoch.describe(),
+            "stats": self.stats.snapshot(),
+            **self._engine.counters,
+        }
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    @contextmanager
+    def pin(self) -> Iterator[Epoch]:
+        """Pin the current epoch for a read section.
+
+        The yielded epoch speaks the router's session protocol; everything
+        evaluated inside the ``with`` block answers on this one immutable
+        version, even if the writer publishes concurrently.
+        """
+        epoch = self._acquire_current()
+        try:
+            yield epoch
+        finally:
+            epoch.release()
+
+    def _acquire_current(self) -> Epoch:
+        with self._publish_lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            return self._current.acquire()
+
+    def query(self, q: Any, *, on: str = "auto",
+              algorithm: Optional[str] = None) -> Any:
+        """Answer one query on the current epoch (thread-safe)."""
+        with self.pin() as epoch:
+            return self._router.dispatch(
+                q, epoch, on=on, algorithm=algorithm, stats=self.stats
+            )
+
+    def query_versioned(
+        self, q: Any, *, on: str = "auto", algorithm: Optional[str] = None
+    ) -> Tuple[int, Any]:
+        """Like :meth:`query` but returns ``(epoch_version, answer)`` —
+        the stress harness correlates answers with the exact graph they
+        were computed on."""
+        with self.pin() as epoch:
+            answer = self._router.dispatch(
+                q, epoch, on=on, algorithm=algorithm, stats=self.stats
+            )
+            return epoch.version, answer
+
+    def query_batch(self, qs: Iterable[Any], *, on: str = "auto",
+                    algorithm: Optional[str] = None) -> List[Any]:
+        """Answer a batch on one pinned epoch (micro-batched dispatch)."""
+        queries = list(qs)
+        with self.pin() as epoch:
+            return self._router.dispatch_batch(
+                queries, epoch, on=on, algorithm=algorithm, stats=self.stats
+            )
+
+    # ------------------------------------------------------------------
+    # Write side (single writer)
+    # ------------------------------------------------------------------
+    def apply(self, deltas: Iterable[EdgeUpdate]) -> UpdateReport:
+        """Apply a ΔG batch and publish a new epoch.
+
+        Serialised by the writer lock (concurrent writers queue up, they
+        do not error).  Readers pinned to the previous epoch finish their
+        queries on it; the superseded epoch is retired and frees its
+        derived state when the last such reader drains.
+        """
+        deltas = list(deltas)
+        with self._writer_lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            # The overlay simulation is journal-only bookkeeping (the
+            # engine recomputes its own); skip it on the plain write path.
+            effective = (
+                effective_updates(self._engine.graph, deltas)
+                if self._journal is not None else None
+            )
+            report = self._engine.apply(deltas)
+            new_version = self._version + 1
+            if self._journal is not None and effective is not None:
+                self._journal.record(new_version, effective)
+            self._publish(self._engine.epoch(new_version))
+        return report
+
+    def refreeze(self) -> Epoch:
+        """Force a publication without updates (e.g. after catalog warm)."""
+        with self._writer_lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            return self._publish(self._engine.epoch(self._version + 1))
+
+    def _publish(self, new_epoch: Epoch) -> Epoch:
+        """Swap in *new_epoch* and retire its predecessor.
+
+        Callers hold the writer lock; the swap itself happens under the
+        publish lock so no pin can land between the decision and the
+        retire.
+        """
+        with self._publish_lock:
+            old, self._current = self._current, new_epoch
+            self._version = new_epoch.version
+            self._draining = [e for e in self._draining if not e.freed]
+            self._draining.append(old)
+        old.retire()
+        return new_epoch
+
+    # ------------------------------------------------------------------
+    # Verification (journal-backed)
+    # ------------------------------------------------------------------
+    def graph_at(self, version: int) -> DiGraph:
+        """The exact graph epoch *version* served (journal required)."""
+        if self._journal is None or self._journal_base is None:
+            raise ValueError("service was built without journal=True")
+        return self._journal.graph_at(self._journal_base, version)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Retire the current epoch and refuse further queries/updates."""
+        with self._writer_lock:
+            with self._publish_lock:
+                if self._closed:
+                    return
+                self._closed = True
+                current = self._current
+                self._draining = [e for e in self._draining if not e.freed]
+            current.retire()
+
+    def __enter__(self) -> "EngineService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EngineService(v{self._version}, backend={self.backend!r}, "
+            f"closed={self._closed})"
+        )

@@ -31,7 +31,9 @@ import hashlib
 import json
 import os
 import shutil
+import threading
 import time
+import weakref
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -69,6 +71,28 @@ class CatalogLockError(CatalogError):
     """The catalog's writer lock could not be acquired in time."""
 
 
+#: Every live directory lock / catalog, so the fork handler can re-arm
+#: their in-process primitives in the child (weak: garbage-collected
+#: instances drop out automatically).
+_LIVE_LOCKS: "weakref.WeakSet[_DirectoryLock]" = weakref.WeakSet()
+_LIVE_CATALOGS: "weakref.WeakSet[SnapshotCatalog]" = weakref.WeakSet()
+
+
+def _rearm_locks_after_fork() -> None:  # pragma: no cover - exercised via fork tests
+    for lock in list(_LIVE_LOCKS):
+        lock._reset_after_fork()
+    for catalog in list(_LIVE_CATALOGS):
+        # A memo-cache lock held by a non-forking thread at fork time
+        # would deadlock the child's first base()/put(); the dict itself
+        # is never left half-written under CPython, so a fresh lock is
+        # all the child needs.
+        catalog._graphs_lock = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_rearm_locks_after_fork)
+
+
 class _DirectoryLock:
     """A cooperative cross-process lock file for one catalog directory.
 
@@ -80,14 +104,29 @@ class _DirectoryLock:
     owner's lock.  A lock whose file has not been touched for
     *stale_after* seconds is presumed abandoned (a crashed writer) and
     broken; breaking re-races through the same atomic create, so two
-    waiters cannot both claim it.  Long critical sections must call
-    :meth:`refresh` at checkpoints (``prune`` does, per entry) so a live
-    hold is never mistaken for a stale one.
+    waiters cannot both claim it.
+
+    While held, a **daemon heartbeat thread** touches the file every
+    ``stale_after / 4`` seconds, so an arbitrarily long critical section
+    (or a writer blocked on slow I/O) is never mistaken for a crashed one
+    — no matter how long ``prune`` scans or an executor worker computes.
+    The thread is a daemon by contract: a process that exits mid-hold
+    must *stop* heartbeating so waiters can break the lock as stale,
+    rather than keep it alive forever.  :meth:`refresh` remains as a
+    manual checkpoint for callers that disabled the thread.
 
     Threads sharing one instance serialise on an in-process ``RLock``
     before the file protocol runs, so the lock is reentrant within the
     owning thread (locked sections can nest — ``warm`` under ``prune``)
     and exclusive across threads and processes alike.
+
+    The lock also **survives fork** (executor workers fork with a shared
+    catalog): an ``os.register_at_fork`` handler re-arms every instance's
+    in-process state in the child — the child starts unheld (it never
+    inherits, releases, or heartbeats the parent's file lock, even if the
+    fork happened inside a locked section; the ownership token stays
+    unique to the parent), while the parent keeps holding and
+    heartbeating undisturbed.
     """
 
     def __init__(
@@ -96,16 +135,19 @@ class _DirectoryLock:
         timeout: float = 10.0,
         stale_after: float = 60.0,
         poll: float = 0.02,
+        heartbeat: bool = True,
     ) -> None:
-        import threading
-
         self.path = path
         self.timeout = timeout
         self.stale_after = stale_after
         self.poll = poll
+        self.heartbeat = heartbeat
         self._tlock = threading.RLock()
         self._depth = 0
         self._token = ""
+        self._hb_thread: Optional[threading.Thread] = None
+        self._hb_stop: Optional[threading.Event] = None
+        _LIVE_LOCKS.add(self)
 
     def __enter__(self) -> "_DirectoryLock":
         if not self._tlock.acquire(timeout=self.timeout):
@@ -135,6 +177,8 @@ class _DirectoryLock:
                 with os.fdopen(fd, "w") as fh:
                     fh.write(token + "\n")
                 self._token = token
+                if self.heartbeat:
+                    self._start_heartbeat()
                 return self
         except BaseException:
             self._depth -= 1
@@ -142,8 +186,14 @@ class _DirectoryLock:
             raise
 
     def __exit__(self, *exc_info) -> None:
+        if self._depth == 0:
+            # A forked child exiting a with-block it inherited from its
+            # parent: the fork handler already re-armed this instance and
+            # the parent still owns the file — nothing to release here.
+            return
         self._depth -= 1
         if self._depth == 0:
+            self._stop_heartbeat()
             try:
                 # Only release a lock we still own: if ours was broken as
                 # stale and reclaimed, the file now carries another owner's
@@ -156,8 +206,52 @@ class _DirectoryLock:
                 pass
         self._tlock.release()
 
+    # -- heartbeat -------------------------------------------------------
+    def _start_heartbeat(self) -> None:
+        stop = threading.Event()
+        interval = max(self.stale_after / 4.0, 0.05)
+
+        def beat() -> None:
+            while not stop.wait(interval):
+                if self._depth == 0:
+                    return
+                try:
+                    os.utime(self.path, None)
+                except OSError:
+                    pass  # broken as stale already; the token check handles release
+
+        self._hb_stop = stop
+        self._hb_thread = threading.Thread(
+            target=beat, name="repro-catalog-heartbeat", daemon=True
+        )
+        self._hb_thread.start()
+
+    def _stop_heartbeat(self) -> None:
+        stop, thread = self._hb_stop, self._hb_thread
+        self._hb_stop = None
+        self._hb_thread = None
+        if stop is not None:
+            stop.set()
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=1.0)
+
+    def _reset_after_fork(self) -> None:
+        """Re-arm in-process state in a forked child (module fork handler).
+
+        The parent's heartbeat thread did not survive the fork, and the
+        file lock — if held — still belongs to the parent; the child must
+        start unheld with fresh primitives or it would deadlock on the
+        copied ``RLock`` state and, worse, delete the parent's lock file
+        on a ``with``-block exit it never paired with an acquire.
+        """
+        self._tlock = threading.RLock()
+        self._depth = 0
+        self._token = ""
+        self._hb_thread = None
+        self._hb_stop = None
+
     def refresh(self) -> None:
-        """Heartbeat: mark the held lock live (call inside long sections)."""
+        """Manual heartbeat checkpoint (redundant while the daemon runs)."""
         if self._depth:
             try:
                 os.utime(self.path, None)
@@ -189,7 +283,11 @@ class SnapshotCatalog:
         self.root.mkdir(parents=True, exist_ok=True)
         sweep_stale_tmp(self.root, recursive=True)
         # Per-process caches; the on-disk layout is the source of truth.
+        # Guarded by a lock: executor worker threads share one catalog and
+        # warm hits must never observe a half-written dict.
         self._graphs: Dict[str, CSRGraph] = {}
+        self._graphs_lock = threading.Lock()
+        _LIVE_CATALOGS.add(self)
         self._lock = _DirectoryLock(
             self.root / ".lock", timeout=lock_timeout, stale_after=lock_stale_after
         )
@@ -255,13 +353,15 @@ class SnapshotCatalog:
                         (json.dumps(meta, indent=2) + "\n").encode("utf-8"),
                     )
                     atomic_write_bytes(base, _frame(body))
-        self._graphs[digest] = csr
+        with self._graphs_lock:
+            self._graphs[digest] = csr
         return digest
 
     def base(self, digest: str) -> CSRGraph:
         """The stored frozen graph behind *digest* (memoised per process)."""
         path = self._entry(digest) / _BASE_NAME
-        cached = self._graphs.get(digest)
+        with self._graphs_lock:
+            cached = self._graphs.get(digest)
         if cached is not None:
             self._touch(path)
             return cached
@@ -298,8 +398,11 @@ class SnapshotCatalog:
                 f"{actual!r} (renamed or mis-copied entry?)"
             )
         csr._digest = digest  # verified above — memoise without re-encoding
-        self._graphs[digest] = csr
-        return csr
+        with self._graphs_lock:
+            # A racing loader may have beaten us here; keep the first
+            # instance so every thread shares one graph object.
+            winner = self._graphs.setdefault(digest, csr)
+        return winner
 
     def meta(self, digest: str) -> dict:
         path = self._entry(digest) / _META_NAME
@@ -509,7 +612,8 @@ class SnapshotCatalog:
                 except OSError:
                     pass
                 shutil.rmtree(self._entry(digest), ignore_errors=True)
-                self._graphs.pop(digest, None)
+                with self._graphs_lock:
+                    self._graphs.pop(digest, None)
                 evicted.append(digest)
                 count -= 1
                 total -= size

@@ -455,3 +455,127 @@ def test_engine_lifecycle_identical_across_hash_seeds():
     b = _run_with_hash_seed("1")
     c = _run_with_hash_seed("42")
     assert a == b == c
+
+
+# ----------------------------------------------------------------------
+# Routing stats (engine.counters) and micro-batched dispatch
+# ----------------------------------------------------------------------
+def test_router_stats_per_class_hits_after_mixed_batch():
+    from repro.engine import RouterStats
+
+    g = _mixed_graph(21)
+    engine = GraphEngine(g.copy())
+    rng = random.Random(5)
+    workload = _workload(g, rng, pairs=14, patterns=3)
+    workload_direct = list(workload)
+    engine.query_batch(workload)
+    assert engine.stats.hits("reachability") == 14
+    assert engine.stats.hits("pattern") == 3
+    assert engine.stats.hits("original") == 0
+    engine.query_batch(workload_direct, on="original")
+    assert engine.stats.hits("original") == 17
+    assert engine.stats.total_queries() == 34
+    assert engine.counters["queries"] == 34
+    snap = engine.stats.snapshot()
+    assert snap["reachability"]["hits"] == 14
+    assert snap["pattern"]["dispatches"] >= 1
+    assert snap["reachability"]["total_ms"] >= 0.0
+    # Stats steer probing order: the most-hit class comes first.
+    stats = RouterStats()
+    stats.record("pattern", 0.001, queries=10)
+    stats.record("reachability", 0.001, queries=2)
+    assert stats.hot_order(["reachability", "pattern"]) == ["pattern", "reachability"]
+    assert stats.hot_order([]) == []
+
+
+def test_query_batch_micro_batching_identity():
+    g = _mixed_graph(22)
+    engine_batch = GraphEngine(g.copy())
+    engine_single = GraphEngine(g.copy())
+    rng = random.Random(9)
+    workload = _workload(g, rng, pairs=20, patterns=4)
+    workload += workload[:6]  # duplicates exercise the dedupe path
+    batched = engine_batch.query_batch(workload)
+    singles = [engine_single.query(q) for q in workload]
+    assert [repr(a) for a in batched] == [repr(a) for a in singles]
+    # Duplicate pattern answers must be independent copies, not aliases.
+    patterns = [i for i, q in enumerate(workload) if isinstance(q, GraphPattern)]
+    dup_pairs = [(i, j) for i in patterns for j in patterns
+                 if i < j and workload[i] is workload[j]]
+    for i, j in dup_pairs:
+        if batched[i]:
+            assert batched[i] == batched[j]
+            assert batched[i] is not batched[j]
+
+
+def test_artifact_answer_batch_matches_per_query():
+    g = _mixed_graph(23)
+    engine = GraphEngine(g.copy())
+    rng = random.Random(11)
+    nodes = g.node_list()
+    hot = nodes[0]  # repeated source: exercises the shared-BFS group path
+    queries = [ReachabilityQuery(hot, rng.choice(nodes)) for _ in range(8)]
+    queries += [ReachabilityQuery(rng.choice(nodes), rng.choice(nodes))
+                for _ in range(8)]
+    queries += [ReachabilityQuery(hot, hot), ReachabilityQuery("ghost", hot)]
+    artifact = engine.reachability()
+    batch = artifact.answer_batch(queries)
+    assert batch == [artifact.answer(q) for q in queries]
+    with pytest.raises(ValueError):
+        artifact.answer_batch(queries, algorithm="warp")
+    # Element-wise parity with answer() extends to the error paths: the
+    # absent-node short circuit precedes algorithm validation.
+    ghosts = [ReachabilityQuery("ghost1", "ghost2")]
+    assert artifact.answer_batch(ghosts, algorithm="warp") \
+        == [artifact.answer(q, algorithm="warp") for q in ghosts] == [False]
+    with pytest.raises(TypeError):
+        artifact.answer_batch([GraphPattern()])
+    pat = engine.bisimulation()
+    p = random_pattern(g, 3, 3, max_bound=2, seed=3)
+    ctx = engine.context_for("pattern")
+    pbatch = pat.answer_batch([p, p, p], context=ctx)
+    assert pbatch[0] == pbatch[1] == pbatch[2]
+    assert pbatch[1] is not pbatch[2]
+    with pytest.raises(TypeError):
+        pat.answer_batch([ReachabilityQuery(1, 2)])
+
+
+# ----------------------------------------------------------------------
+# Writer-side publication journal
+# ----------------------------------------------------------------------
+def test_update_journal_reconstructs_each_version():
+    from repro.engine import UpdateJournal, replay_updates
+
+    g = _mixed_graph(24)
+    journal = UpdateJournal()
+    base = g.copy()
+    live = g.copy()
+    effs = []
+    for version in (1, 2, 3):
+        batch = mixed_batch(live, 6, insert_ratio=0.5, seed=40 + version)
+        eff = effective_updates(live, batch)
+        replay_updates(live, [eff])
+        journal.record(version, eff)
+        effs.append(eff)
+    assert journal.versions() == [1, 2, 3]
+    assert journal.graph_at(base, 0).structure_equal(g)
+    assert journal.graph_at(base, 3).structure_equal(live)
+    # Each intermediate version equals an independent replay of exactly
+    # that prefix — catches off-by-one prefix bugs in graph_at.
+    for version in (1, 2):
+        expected = replay_updates(g.copy(), effs[:version])
+        assert journal.graph_at(base, version).structure_equal(expected)
+    with pytest.raises(ValueError):
+        journal.record(2, [])  # versions must increase
+
+
+def test_update_journal_limit_drops_reconstruction():
+    from repro.engine import UpdateJournal
+
+    journal = UpdateJournal(limit=2)
+    g = _mixed_graph(25)
+    for v in (1, 2, 3):
+        journal.record(v, [("+", "a", f"b{v}")])
+    assert len(journal) == 2
+    with pytest.raises(ValueError):
+        journal.graph_at(g, 3)

@@ -10,7 +10,6 @@ import random
 
 from repro.core.pattern import compress_pattern
 from repro.core.reachability import compress_reachability
-from repro.graph.digraph import DiGraph
 from repro.graph.generators import gnm_random_graph
 from repro.graph.traversal import path_exists
 from repro.index.interval import IntervalIndex

@@ -6,7 +6,7 @@ from repro.core.pattern import compress_pattern, quotient_by_partition
 from repro.graph.partition import Partition
 from repro.graph.generators import gnm_random_graph
 from repro.queries.matching import boolean_match, match, match_naive
-from repro.queries.pattern import STAR, GraphPattern
+from repro.queries.pattern import GraphPattern
 from repro.datasets.patterns import random_pattern
 
 

@@ -21,7 +21,6 @@ from repro.graph.digraph import DiGraph
 from repro.graph.generators import (
     attach_equivalent_leaves,
     gnm_random_graph,
-    preferential_attachment_graph,
 )
 from repro.graph.traversal import is_acyclic, path_exists
 

@@ -9,11 +9,11 @@ backends).
 
 from __future__ import annotations
 
-import json
 import os
 import struct
 import subprocess
 import sys
+import time
 
 import pytest
 
@@ -809,3 +809,89 @@ def test_catalog_concurrent_writers_threads(tmp_path):
     assert catalog.digests() == [digest]
     rc = catalog.reachability(digest)
     assert rc.canonical_form() == compress_reachability(g).canonical_form()
+
+
+def test_catalog_lock_heartbeat_is_daemon_and_prevents_stale_break(tmp_path):
+    """A long-held lock stays live via the daemon heartbeat thread.
+
+    With ``stale_after`` shorter than the hold, a second handle must NOT
+    reclaim the lock (the heartbeat keeps the mtime fresh) — it times out
+    with ``CatalogLockError`` instead.
+    """
+    from repro.store.catalog import CatalogLockError
+
+    holder = SnapshotCatalog(tmp_path, lock_timeout=5.0, lock_stale_after=0.4)
+    waiter = SnapshotCatalog(tmp_path, lock_timeout=0.9, lock_stale_after=0.4)
+    with holder.lock() as lock:
+        assert lock._hb_thread is not None
+        assert lock._hb_thread.daemon is True  # must never pin the process
+        time.sleep(0.6)  # well past stale_after without a manual refresh
+        with pytest.raises(CatalogLockError):
+            with waiter.lock():
+                pass
+    assert lock._hb_thread is None  # stopped on release
+    with waiter.lock():  # and the lock is properly released
+        pass
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="needs POSIX fork")
+def test_catalog_lock_survives_fork(tmp_path):
+    """A forked child never inherits, releases, or breaks the parent's hold.
+
+    This is the executor-worker scenario: a catalog shared with forked
+    workers.  The child must (1) see itself unheld, (2) fail to acquire
+    while the parent holds, and (3) leave the parent's lock file intact
+    even when it exits a ``with`` block entered before the fork.
+    """
+    from repro.store.catalog import CatalogLockError
+
+    catalog = SnapshotCatalog(tmp_path, lock_timeout=0.3, lock_stale_after=30.0)
+    lock_path = tmp_path / ".lock"
+    with catalog.lock() as lock:
+        parent_token = lock_path.read_text()
+        pid = os.fork()
+        if pid == 0:  # ---- child ----
+            code = 1
+            try:
+                if lock._depth == 0 and lock._token == "":  # re-armed
+                    try:
+                        with catalog.lock():
+                            pass
+                        code = 2  # acquired while parent holds: broken
+                    except CatalogLockError:
+                        code = 0
+                # Exiting the inherited with-block must be a no-op; emulate
+                # what a child unwinding the parent's stack would run.
+                lock.__exit__(None, None, None)
+                if not lock_path.exists():
+                    code = 3  # child deleted the parent's lock file
+            finally:
+                os._exit(code)
+        # ---- parent ----
+        _, status = os.waitpid(pid, 0)
+        assert os.waitstatus_to_exitcode(status) == 0
+        assert lock_path.read_text() == parent_token  # hold undisturbed
+    assert not lock_path.exists()  # parent released normally
+
+
+def test_catalog_memo_cache_is_shared_and_thread_safe(tmp_path):
+    """Concurrent warm reads share one memoised CSRGraph instance."""
+    import threading
+
+    g = gnm_random_graph(60, 180, num_labels=3, seed=41)
+    digest = SnapshotCatalog(tmp_path).put(g)
+    catalog = SnapshotCatalog(tmp_path)  # cold handle: loads from disk
+    seen = []
+    barrier = threading.Barrier(4)
+
+    def load():
+        barrier.wait()
+        seen.append(catalog.base(digest))
+
+    threads = [threading.Thread(target=load) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert len(seen) == 4
+    assert all(x is seen[0] for x in seen)  # one instance won the race
