@@ -166,6 +166,55 @@ def run(quick: bool = True) -> ExperimentResult:
                 "qps": round(len(workload) / elapsed, 1),
                 "speedup": round(speedup, 2),
             })
+
+    # -- fault-point instrumentation overhead ---------------------------
+    # The robustness layer (repro.faults) compiles named fault points into
+    # the serving hot paths; with no plan installed each costs one
+    # module-global ``is None`` check.  Measure the same 1-worker executor
+    # run bare vs with an installed never-firing plan (the *worst* case:
+    # every point consults the plan and mismatches) — min-of-N to shave
+    # scheduler noise.  The <5% gate keeps the instrumentation honest.
+    from repro.faults.plan import FaultPlan, FaultRule, install_plan, uninstall_plan
+
+    def _exec_run() -> tuple:
+        service.refreeze()
+        _warm_epoch(service)
+        ex = QueryExecutor(service, 1, mode="thread", max_batch=128)
+        try:
+            ex.map(workload[:8])
+            t0 = time.perf_counter()
+            run_answers = ex.map(workload)
+            return time.perf_counter() - t0, run_answers
+        finally:
+            ex.shutdown(wait=True)
+
+    reps = 4 if quick else 6
+    never_plan = FaultPlan(
+        [FaultRule(point="bench.never.*", kind="error", times=None)], seed=0
+    )
+    bare_times: List[float] = []
+    inst_times: List[float] = []
+    # Interleave bare/installed samples so slow drift (thermal, noisy
+    # neighbours) hits both sides equally.
+    for _ in range(reps):
+        bare_times.append(_exec_run()[0])
+        install_plan(never_plan)
+        try:
+            t_run, run_answers = _exec_run()
+        finally:
+            uninstall_plan()
+        inst_times.append(t_run)
+        identical &= [freeze_answer(a) for a in run_answers] == frozen_serial
+    t_plain = min(bare_times)
+    t_inst = min(inst_times)
+    overhead = t_inst / t_plain if t_plain else float("inf")
+    assert never_plan.fired() == 0  # the plan must never actually fire
+    rows.append({
+        "graph": largest_name, "mode": "fault-instrumented", "workers": 1,
+        "queries": len(workload), "wall ms": round(t_inst * 1e3, 1),
+        "qps": round(len(workload) / t_inst, 1),
+        "speedup": round(t_serial / t_inst, 2) if t_inst else 0.0,
+    })
     service.close()
 
     # -- readers during writes (executor + publishing writer) ------------
@@ -212,6 +261,12 @@ def run(quick: bool = True) -> ExperimentResult:
             speedup_4 >= 2.0,
             False,
         ),
+        (
+            f"fault-point instrumentation fault-free overhead < 5% "
+            f"(installed never-firing plan: {overhead:.3f}x the bare run)",
+            overhead <= 1.05,
+            False,
+        ),
     ]
     checks = [(d, ok) for d, ok, _gate in gated_checks]
 
@@ -230,6 +285,12 @@ def run(quick: bool = True) -> ExperimentResult:
             "queries", "checked", "mismatches", "epochs_published",
             "versions_seen", "draining_after_join", "current_freed_after_close",
         )},
+        "fault_instrumentation": {
+            "bare_ms": round(t_plain * 1e3, 1),
+            "instrumented_ms": round(t_inst * 1e3, 1),
+            "overhead": round(overhead, 4),
+            "reps": reps,
+        },
         "checks": [
             {"description": d, "passed": ok, "gate": gate}
             for d, ok, gate in gated_checks

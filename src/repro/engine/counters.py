@@ -50,13 +50,14 @@ def bump(counters: Dict[str, int], key: str, n: int = 1) -> None:
 class _ClassEntry:
     """Mutable per-class aggregate (internal; snapshots are plain dicts)."""
 
-    __slots__ = ("hits", "dispatches", "total_s", "max_s")
+    __slots__ = ("hits", "dispatches", "total_s", "max_s", "fallbacks")
 
     def __init__(self) -> None:
         self.hits = 0  # queries answered under this key
         self.dispatches = 0  # dispatch calls (a batch is one dispatch)
         self.total_s = 0.0
         self.max_s = 0.0
+        self.fallbacks = 0  # queries degraded away from this key to G
 
 
 class RouterStats:
@@ -87,6 +88,25 @@ class RouterStats:
             if seconds > entry.max_s:
                 entry.max_s = seconds
 
+    def record_fallback(self, key: str, queries: int = 1) -> None:
+        """Note that *queries* queries routed to *key* degraded to ``G``.
+
+        The latency of the degraded dispatch is recorded under
+        ``"original"`` by the router; this counter keeps the *intent*
+        visible — how often each representation could not serve.
+        """
+        with self._lock:
+            entry = self._classes.get(key)
+            if entry is None:
+                entry = self._classes[key] = _ClassEntry()
+            entry.fallbacks += queries
+
+    def fallbacks(self, key: str) -> int:
+        """Queries degraded away from *key* so far (0 for a clean key)."""
+        with self._lock:
+            entry = self._classes.get(key)
+            return entry.fallbacks if entry is not None else 0
+
     def clear(self) -> None:
         with self._lock:
             self._classes.clear()
@@ -115,6 +135,7 @@ class RouterStats:
                     if e.dispatches
                     else 0.0,
                     "max_ms": round(e.max_s * 1e3, 3),
+                    "fallbacks": e.fallbacks,
                 }
             return out
 

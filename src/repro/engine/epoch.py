@@ -32,13 +32,15 @@ resurrecting freed state.
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, NoReturn, Optional, Union
 
 from repro.core.base import QueryPreservingCompression
 from repro.core.pattern import compress_pattern, compress_pattern_csr
 from repro.core.reachability import compress_reachability, compress_reachability_csr
 from repro.engine.counters import bump
-from repro.engine.router import ORIGINAL
+from repro.engine.router import ORIGINAL, RepresentationUnavailable
+from repro.faults.deadline import DeadlineExceeded, run_with_deadline
+from repro.faults.plan import fault_point
 from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
 from repro.queries.matching import MatchContext, match
@@ -110,9 +112,12 @@ class Epoch:
         catalog: Optional[Any] = None,
         digest: Optional[str] = None,
         counters: Optional[Dict[str, int]] = None,
+        build_deadline_s: Optional[float] = None,
     ) -> None:
         if backend not in ("csr", "dict"):
             raise ValueError(f"unknown backend: {backend!r} (expected 'csr' or 'dict')")
+        if build_deadline_s is not None and build_deadline_s <= 0:
+            raise ValueError("build_deadline_s must be positive (or None)")
         self.version = version
         self.csr = csr
         self.backend = backend
@@ -120,8 +125,15 @@ class Epoch:
         self._digest = digest
         #: Shared build counters (the publishing engine's ``counters``).
         self._counters = counters
+        #: Wall-clock budget for each lazy Gr/Gb build; ``None`` = no limit.
+        self.build_deadline_s = build_deadline_s
         self._build_lock = threading.RLock()
         self._artifacts: Dict[str, QueryPreservingCompression] = {}
+        #: key -> reason: representations whose build failed or timed out
+        #: this epoch.  Degradation is sticky for the epoch's lifetime — a
+        #: fresh publication gets a fresh chance, but within an epoch a
+        #: failed build is not retried on every query (no rebuild storm).
+        self._degraded: Dict[str, str] = {}
         self._contexts: Dict[str, MatchContext] = {}
         self._thawed: Optional[DiGraph] = None  # dict-backend builds share one thaw
         # Pin/retire lifecycle (RCU-style grace period accounting).
@@ -204,27 +216,66 @@ class Epoch:
     # Router session protocol
     # ------------------------------------------------------------------
     def artifact(self, key: str) -> QueryPreservingCompression:
-        """The *key* compression artifact, built exactly once per epoch."""
+        """The *key* compression artifact, built exactly once per epoch.
+
+        A build that raises or exceeds ``build_deadline_s`` marks *key*
+        degraded for the rest of the epoch and raises
+        :class:`~repro.engine.router.RepresentationUnavailable` — the
+        router catches it and answers directly on ``G``, so degradation
+        changes the route, never the answer.
+        """
         artifact = self._artifacts.get(key)  # lock-free fast path
         if artifact is not None:
             return artifact
         with self._build_lock:
             artifact = self._artifacts.get(key)
             if artifact is None:
+                reason = self._degraded.get(key)
+                if reason is not None:
+                    raise RepresentationUnavailable(key, reason)
                 self._check_serving()
-                artifact = compress_frozen(
-                    key,
-                    self.csr,
-                    self.backend,
-                    self._catalog,
-                    self._digest,
-                    self._counters,
-                    thawed=self._thaw() if self.backend == "dict" else None,
-                )
+                try:
+                    artifact = self._build(key)
+                except (EpochRetired, RepresentationUnavailable):
+                    raise
+                except DeadlineExceeded as exc:
+                    self._degrade(key, f"build exceeded {exc.timeout:g}s deadline")
+                except Exception as exc:  # noqa: BLE001 - degrade, don't die
+                    self._degrade(key, f"build failed: {type(exc).__name__}: {exc}")
                 self._artifacts[key] = artifact
                 if self._counters is not None:
                     bump(self._counters, "artifact_builds")
         return artifact
+
+    def _build(self, key: str) -> QueryPreservingCompression:
+        """Run one ``compress_frozen`` build, under the epoch's deadline."""
+
+        def build() -> QueryPreservingCompression:
+            # Inside the deadline scope: injected slowness/errors at this
+            # point hit the same timeout machinery a real slow build would.
+            fault_point(f"epoch.build.{key}")
+            return compress_frozen(
+                key,
+                self.csr,
+                self.backend,
+                self._catalog,
+                self._digest,
+                self._counters,
+                thawed=self._thaw() if self.backend == "dict" else None,
+            )
+
+        if self.build_deadline_s is None:
+            return build()
+        return run_with_deadline(
+            build, self.build_deadline_s, label=f"epoch {self.version} {key} build"
+        )
+
+    def _degrade(self, key: str, reason: str) -> NoReturn:
+        """Record a failed build and refuse the representation this epoch."""
+        self._degraded[key] = reason
+        if self._counters is not None:
+            bump(self._counters, "degraded_builds")
+        raise RepresentationUnavailable(key, reason)
 
     def context_for(self, key: str) -> Optional[MatchContext]:
         """The epoch's shared evaluation cache for representation *key*.
@@ -309,6 +360,7 @@ class Epoch:
             "backend": self.backend,
             "digest": self._digest,
             "materialized": sorted(self._artifacts),
+            "degraded": dict(sorted(self._degraded.items())),
             "pins": self._pins,
             "retired": self._retired,
             "freed": self._freed,

@@ -57,6 +57,21 @@ REPRESENTATIONS: Tuple[Tuple[str, Type[QueryPreservingCompression]], ...] = (
 ALIASES = {"Gr": "reachability", "Gb": "pattern", "G": ORIGINAL}
 
 
+class RepresentationUnavailable(RuntimeError):
+    """A representation cannot serve this epoch (build failed or timed out).
+
+    Raised by a serving session's ``artifact(key)`` when the compressed
+    representation is degraded; the router catches it and falls back to
+    direct evaluation on ``G`` — same answer, slower route.  ``key`` names
+    the degraded representation, ``reason`` why.
+    """
+
+    def __init__(self, key: str, reason: str) -> None:
+        super().__init__(f"representation {key!r} unavailable: {reason}")
+        self.key = key
+        self.reason = reason
+
+
 class QueryRouter:
     """Routes first-class query objects to their preserving representation."""
 
@@ -133,7 +148,18 @@ class QueryRouter:
         if key == ORIGINAL:
             answer = session.evaluate_original(query, algorithm=algorithm)
         else:
-            artifact = session.artifact(key)
+            try:
+                artifact = session.artifact(key)
+            except RepresentationUnavailable:
+                # Degradation ladder, last rung: the representation cannot
+                # be built this epoch, so answer directly on G.  Same
+                # answer by the preservation theorem, slower route.
+                if stats is not None:
+                    stats.record_fallback(key)
+                answer = session.evaluate_original(query, algorithm=None)
+                if stats is not None:
+                    stats.record(ORIGINAL, time.perf_counter() - start)
+                return answer
             # Size-1 batch rather than answer(): element-wise identical by
             # the answer_batch contract, and it keeps single-query dispatch
             # on the same amortisation paths as batches (notably the
@@ -180,7 +206,21 @@ class QueryRouter:
                         queries[i], algorithm=algorithm
                     )
             else:
-                artifact = session.artifact(key)
+                try:
+                    artifact = session.artifact(key)
+                except RepresentationUnavailable:
+                    # Degrade the whole group to direct-on-G; answers are
+                    # unchanged by the preservation theorem.
+                    if stats is not None:
+                        stats.record_fallback(key, queries=len(positions))
+                    for i in positions:
+                        answers[i] = session.evaluate_original(
+                            queries[i], algorithm=None
+                        )
+                    if stats is not None:
+                        stats.record(ORIGINAL, time.perf_counter() - start,
+                                     queries=len(positions))
+                    continue
                 group_answers = artifact.answer_batch(
                     [queries[i] for i in positions],
                     context=session.context_for(key),

@@ -374,7 +374,8 @@ class GraphEngine:
     # ------------------------------------------------------------------
     # Publication
     # ------------------------------------------------------------------
-    def epoch(self, version: int = 0) -> Epoch:
+    def epoch(self, version: int = 0, *,
+              build_deadline_s: Optional[float] = None) -> Epoch:
         """Publish the current graph as an immutable :class:`Epoch`.
 
         Freezes (folding any pending delta) and hands the snapshot — with
@@ -382,6 +383,9 @@ class GraphEngine:
         new epoch.  The epoch serves reads on its own; this session stays
         the single writer.  The concurrent front
         (:mod:`repro.service`) calls this after every update batch.
+        ``build_deadline_s`` caps each of the epoch's lazy Gr/Gb builds;
+        a build over budget degrades that representation to direct-on-G
+        for the epoch's lifetime.
         """
         csr = self.freeze()
         return Epoch(
@@ -391,6 +395,7 @@ class GraphEngine:
             catalog=self._catalog,
             digest=self._digest,
             counters=self.counters,
+            build_deadline_s=build_deadline_s,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,119 @@
+"""Per-key circuit breaker — trip a failing route, probe it back to health.
+
+The executor keys breakers by routed representation
+(``"reachability"``/``"pattern"``): a representation that keeps failing
+(corrupt variants, injected build errors, timeouts) stops being asked
+after ``threshold`` consecutive failures and its queries degrade to
+direct-on-``G`` — answers unchanged, latency worse, no failure storm.
+After ``cooldown_s`` one probe request is let through (half-open); a
+success closes the circuit, a failure re-opens it for another cooldown.
+
+Time is injectable (``clock``) so tests drive the state machine without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict
+
+#: Breaker states, as reported by :meth:`CircuitBreaker.state`.
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+
+class _KeyState:
+    __slots__ = ("state", "failures", "opened_at", "trips")
+
+    def __init__(self) -> None:
+        self.state = CLOSED
+        self.failures = 0  # consecutive failures while closed
+        self.opened_at = 0.0
+        self.trips = 0  # lifetime closed->open transitions
+
+
+class CircuitBreaker:
+    """Thread-safe consecutive-failure breaker over arbitrary string keys."""
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._keys: Dict[str, _KeyState] = {}
+
+    def _entry(self, key: str) -> _KeyState:
+        entry = self._keys.get(key)
+        if entry is None:
+            entry = self._keys[key] = _KeyState()
+        return entry
+
+    # ------------------------------------------------------------------
+    def allow(self, key: str) -> bool:
+        """May *key* be attempted right now?
+
+        Closed: yes.  Open: no, until the cooldown elapses — then exactly
+        one caller gets a half-open probe (the rest stay degraded until
+        the probe reports back).
+        """
+        with self._lock:
+            entry = self._entry(key)
+            if entry.state == CLOSED:
+                return True
+            if entry.state == OPEN and (
+                self._clock() - entry.opened_at >= self.cooldown_s
+            ):
+                entry.state = HALF_OPEN
+                return True  # this caller is the probe
+            return False
+
+    def record_success(self, key: str) -> None:
+        with self._lock:
+            entry = self._entry(key)
+            entry.failures = 0
+            if entry.state != CLOSED:
+                entry.state = CLOSED
+
+    def record_failure(self, key: str) -> None:
+        with self._lock:
+            entry = self._entry(key)
+            if entry.state == HALF_OPEN:
+                # The probe failed: straight back to a fresh cooldown.
+                entry.state = OPEN
+                entry.opened_at = self._clock()
+                entry.trips += 1
+                return
+            entry.failures += 1
+            if entry.state == CLOSED and entry.failures >= self.threshold:
+                entry.state = OPEN
+                entry.opened_at = self._clock()
+                entry.trips += 1
+
+    # ------------------------------------------------------------------
+    def state(self, key: str) -> str:
+        with self._lock:
+            entry = self._keys.get(key)
+            return entry.state if entry is not None else CLOSED
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        with self._lock:
+            return {
+                key: {
+                    "state": e.state,
+                    "failures": e.failures,
+                    "trips": e.trips,
+                }
+                for key, e in sorted(self._keys.items())
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CircuitBreaker({self.snapshot()!r})"

@@ -7,20 +7,45 @@
   (threads or forked processes) with adaptive micro-batching and
   future-based submission;
 * :mod:`repro.service.epoch_stress` — the randomized reader/writer stress
-  harness both the tests and ``python -m repro.bench service`` run.
+  harness both the tests and ``python -m repro.bench service`` run, plus
+  its chaos extension (``run_chaos`` / ``python -m repro.service chaos``)
+  that re-runs the workload under an injected fault schedule;
+* :mod:`repro.service.errors` — the typed failure vocabulary
+  (:class:`ServiceFault` and friends) every serving-side failure is
+  surfaced as.
 
-See ``src/repro/service/README.md`` for the epoch lifecycle diagram and
-the reader/writer contract.
+See ``src/repro/service/README.md`` for the epoch lifecycle diagram, the
+reader/writer contract and the failure semantics.
 """
 
-from repro.service.epoch_stress import build_schedule, freeze_answer, run_stress
+from repro.service.epoch_stress import (
+    build_schedule,
+    chaos_plan,
+    freeze_answer,
+    run_chaos,
+    run_stress,
+)
+from repro.service.errors import (
+    ApplyError,
+    QueryTimeout,
+    RetriesExhausted,
+    ServiceFault,
+    WorkerDied,
+)
 from repro.service.executor import QueryExecutor
 from repro.service.front import EngineService
 
 __all__ = [
+    "ApplyError",
     "EngineService",
     "QueryExecutor",
-    "run_stress",
+    "QueryTimeout",
+    "RetriesExhausted",
+    "ServiceFault",
+    "WorkerDied",
     "build_schedule",
+    "chaos_plan",
     "freeze_answer",
+    "run_chaos",
+    "run_stress",
 ]

@@ -1,0 +1,106 @@
+"""``python -m repro.service`` — serving-stack maintenance commands.
+
+Currently one subcommand:
+
+``chaos``
+    Run the seeded chaos harness (:func:`repro.service.epoch_stress
+    .run_chaos`): the concurrent reader/writer stress workload under an
+    injected fault schedule, followed by full answer re-verification.
+    Exit status 0 means the exactness invariant held — every delivered
+    answer matched from-scratch evaluation and no unhandled exception
+    escaped the service; 1 means it was violated.  The JSON report
+    (``--out``) is the artifact the CI ``chaos-stress`` job uploads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.graph.generators import attach_equivalent_leaves, gnm_random_graph
+from repro.service.epoch_stress import run_chaos
+
+
+def _chaos(args: argparse.Namespace) -> int:
+    graph = gnm_random_graph(
+        args.nodes, args.edges, num_labels=4, seed=args.graph_seed
+    )
+    attach_equivalent_leaves(
+        graph, [4, 3], parents_per_group=2, seed=args.graph_seed + 1
+    )
+    reports: List[Dict[str, Any]] = []
+    violations = 0
+    for seed in args.seeds:
+        report = run_chaos(
+            graph,
+            mode=args.mode,
+            workers=args.workers,
+            seed=seed,
+            writer_batches=3 if args.quick else 5,
+            queries_per_reader=10 if args.quick else 25,
+        )
+        ok = (
+            report["mismatches"] == 0
+            and not report["unhandled"]
+            and report["delivered"] > 0
+        )
+        report["ok"] = ok
+        if not ok:
+            violations += 1
+        reports.append(report)
+        print(
+            f"chaos seed={seed} mode={args.mode}: "
+            f"delivered={report['delivered']} "
+            f"mismatches={report['mismatches']} "
+            f"failed={sum(report['failed'].values())} "
+            f"unhandled={len(report['unhandled'])} "
+            f"rollbacks={report['rollbacks_observed']} "
+            f"faults_fired={report['faults']['total_fired']} "
+            f"quarantined={len(report['quarantined'])} "
+            f"-> {'OK' if ok else 'VIOLATION'}"
+        )
+    payload = {
+        "mode": args.mode,
+        "workers": args.workers,
+        "seeds": list(args.seeds),
+        "violations": violations,
+        "runs": reports,
+    }
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"report written to {args.out}")
+    if violations:
+        print(f"FAILED: {violations} run(s) violated the exactness invariant",
+              file=sys.stderr)
+        return 1
+    print(f"all {len(reports)} chaos run(s) held the exactness invariant")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="serving-stack maintenance commands",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    chaos = sub.add_parser("chaos", help="run the seeded chaos harness")
+    chaos.add_argument("--seeds", type=int, nargs="+", default=[0],
+                       help="fault-plan seeds to run (one round each)")
+    chaos.add_argument("--mode", choices=("thread", "fork"), default="thread")
+    chaos.add_argument("--workers", type=int, default=2)
+    chaos.add_argument("--nodes", type=int, default=60)
+    chaos.add_argument("--edges", type=int, default=170)
+    chaos.add_argument("--graph-seed", type=int, default=11)
+    chaos.add_argument("--quick", action="store_true",
+                       help="smaller workload (CI smoke)")
+    chaos.add_argument("--out", help="write the JSON report here")
+    chaos.set_defaults(func=_chaos)
+    args = parser.parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -25,17 +25,21 @@ drain, every retired epoch must have freed its derived state.
 from __future__ import annotations
 
 import random
+import tempfile
 import threading
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.datasets.patterns import random_pattern
 from repro.datasets.updates import mixed_batch
+from repro.faults.plan import FaultPlan, FaultRule
 from repro.graph.digraph import DiGraph
 from repro.queries.matching import MatchContext, match
 from repro.queries.reachability import ReachabilityQuery, evaluate_reachability
+from repro.service.errors import ApplyError, ServiceFault
 from repro.service.executor import QueryExecutor
 from repro.service.front import EngineService
+from repro.store.catalog import SnapshotCatalog
 
 
 def freeze_answer(answer: Any) -> Any:
@@ -204,3 +208,209 @@ def run_stress(
         "current_freed_after_close": service.current.freed,
         "per_class": service.stats.snapshot(),
     }
+
+
+# ----------------------------------------------------------------------
+# Chaos extension: the same harness under an injected fault schedule.
+# ----------------------------------------------------------------------
+
+def chaos_plan(seed: int, mode: str = "thread") -> FaultPlan:
+    """A seeded menu of faults across every hardened layer.
+
+    Probabilities and windows are tuned so a quick run sees several
+    firings of each family without starving delivery entirely; delays are
+    bounded well under the executor timeout so nothing hangs.  ``fork``
+    mode adds worker kills (``after=1`` so each forked child survives its
+    first task — respawned pools make progress instead of dying on
+    arrival, since children re-inherit the plan with fresh counters).
+    """
+    rules = [
+        # store/catalog: flaky reads and corrupted payloads — exercised
+        # through quarantine + transparent rebuild-from-base.
+        # (the read io_error starts after two clean reads so the bytes
+        # corruption below gets a chance to reach the decoder first)
+        FaultRule(point="catalog.variant.read", kind="io_error",
+                  probability=0.6, after=2, times=4),
+        FaultRule(point="catalog.variant.bytes", kind="corrupt",
+                  probability=0.7, times=3),
+        FaultRule(point="catalog.variant.write", kind="io_error",
+                  probability=0.5, times=3),
+        # engine: builds that die or crawl — exercised through the epoch
+        # deadline + degraded direct-on-G routing.
+        FaultRule(point="epoch.build.*", kind="error",
+                  probability=0.35, times=3),
+        FaultRule(point="epoch.build.*", kind="delay", delay_s=0.5,
+                  probability=0.3, after=3, times=2),
+        # executor: transient dispatch failures and slowness — exercised
+        # through retry-with-backoff, timeouts and the circuit breaker.
+        FaultRule(point="executor.dispatch", kind="io_error",
+                  probability=0.25, times=5),
+        FaultRule(point="executor.dispatch", kind="delay", delay_s=0.1,
+                  probability=0.2, after=5, times=4),
+        # service: update batches failing mid-publication — exercised
+        # through the transactional apply rollback.
+        FaultRule(point="service.apply", kind="io_error",
+                  probability=0.5, times=2),
+        FaultRule(point="service.publish", kind="error",
+                  probability=0.5, times=2),
+    ]
+    if mode == "fork":
+        rules.append(FaultRule(point="executor.fork.worker", kind="kill",
+                               after=1, times=1))
+    return FaultPlan(rules, seed=seed)
+
+
+def run_chaos(
+    graph: DiGraph,
+    *,
+    mode: str = "thread",
+    workers: int = 2,
+    readers: int = 3,
+    writer_batches: int = 5,
+    batch_size: int = 6,
+    queries_per_reader: int = 25,
+    seed: int = 0,
+    plan: Optional[FaultPlan] = None,
+    build_deadline_s: float = 0.25,
+    timeout_s: float = 5.0,
+    retries: int = 3,
+    catalog_dir: Optional[str] = None,
+) -> Dict[str, Any]:
+    """One chaos round: the stress workload under an injected fault plan.
+
+    The exactness invariant under test: *degradation may change latency
+    and route, never answers*.  Readers submit through a fully hardened
+    :class:`QueryExecutor`; a typed :class:`ServiceFault` is a tolerated
+    failed delivery, any other escaping exception is an unhandled one
+    (``report["unhandled"]`` must be empty).  After the run — faults
+    uninstalled — every delivered ``(version, query, answer)`` record is
+    re-verified against from-scratch evaluation on that version's exact
+    journal-reconstructed graph (``report["mismatches"]`` must be 0).
+    """
+    batches, pool = build_schedule(
+        graph, writer_batches=writer_batches, batch_size=batch_size, seed=seed
+    )
+    if catalog_dir is None:
+        catalog_dir = tempfile.mkdtemp(prefix="repro-chaos-")
+    catalog = SnapshotCatalog(catalog_dir)
+    service = EngineService(
+        graph.copy(), catalog, journal=True, build_deadline_s=build_deadline_s
+    )
+    executor = QueryExecutor(
+        service, workers, mode=mode, max_batch=8,
+        timeout_s=timeout_s, retries=retries, backoff_s=0.005,
+    )
+    if plan is None:
+        plan = chaos_plan(seed, mode)
+
+    records: List[Tuple[int, int, Any]] = []
+    rec_lock = threading.Lock()
+    failed: Dict[str, int] = {}
+    unhandled: List[str] = []
+    rollbacks = 0
+    start_evt = threading.Event()
+    writer_done = threading.Event()
+
+    def reader(idx: int) -> None:
+        r = random.Random(seed * 977 + idx)
+        start_evt.wait()
+        done = 0
+        while (done < queries_per_reader or not writer_done.is_set()) \
+                and done < queries_per_reader * 20:
+            done += 1
+            qi = r.randrange(len(pool))
+            try:
+                fut = executor.submit(pool[qi])
+                answer = fut.result(timeout=120.0)
+                version = fut.epoch_version  # type: ignore[attr-defined]
+            except (ServiceFault, TimeoutError) as exc:
+                # Typed, expected degradation: count it and keep reading.
+                with rec_lock:
+                    name = type(exc).__name__
+                    failed[name] = failed.get(name, 0) + 1
+                continue
+            except Exception as exc:  # noqa: BLE001 - the invariant breach
+                with rec_lock:
+                    unhandled.append(
+                        f"reader {idx}: {type(exc).__name__}: {exc}"
+                    )
+                return
+            with rec_lock:
+                records.append((version, qi, freeze_answer(answer)))
+            time.sleep(0)
+
+    def writer() -> None:
+        nonlocal rollbacks
+        start_evt.wait()
+        try:
+            for i, batch in enumerate(batches):
+                try:
+                    service.apply(batch)
+                except ApplyError:
+                    # Rolled back: the batch is dropped, the service keeps
+                    # serving the prior epoch.  Later batches still apply
+                    # cleanly (deletes of never-inserted edges are no-ops).
+                    rollbacks += 1
+                # Republishing the same graph revisits its digest: the
+                # warm-variant *read* path (and its corruption faults →
+                # quarantine → transparent rebuild) gets exercised.
+                try:
+                    service.refreeze()
+                except ApplyError:
+                    rollbacks += 1
+                time.sleep(0.002)
+        except Exception as exc:  # noqa: BLE001 - the invariant breach
+            with rec_lock:
+                unhandled.append(f"writer: {type(exc).__name__}: {exc}")
+        finally:
+            writer_done.set()
+
+    threads = [
+        threading.Thread(target=reader, args=(i,), name=f"chaos-reader-{i}")
+        for i in range(readers)
+    ]
+    threads.append(threading.Thread(target=writer, name="chaos-writer"))
+    with plan.installed():
+        for t in threads:
+            t.start()
+        start_evt.set()
+        for t in threads:
+            t.join(timeout=300.0)
+            if t.is_alive():  # pragma: no cover - only on a real deadlock
+                unhandled.append(f"{t.name} stalled")
+    # Faults are uninstalled from here on: shutdown and verification run
+    # clean (queued work during shutdown still resolves, fault-free).
+    executor.shutdown(wait=True)
+
+    expected_graphs: Dict[int, Tuple[DiGraph, MatchContext]] = {}
+    mismatches = 0
+    for version, qi, frozen in records:
+        if version not in expected_graphs:
+            g_at = service.graph_at(version)
+            expected_graphs[version] = (g_at, MatchContext(g_at))
+        g_at, ctx = expected_graphs[version]
+        expected = freeze_answer(direct_answer(g_at, pool[qi], ctx))
+        if expected != frozen:
+            mismatches += 1
+
+    report = {
+        "mode": mode,
+        "seed": seed,
+        "workers": workers,
+        "readers": readers,
+        "delivered": len(records),
+        "checked": len(records),
+        "mismatches": mismatches,
+        "failed": dict(sorted(failed.items())),
+        "unhandled": unhandled,
+        "rollbacks_observed": rollbacks,
+        "epochs_published": service.version + 1,
+        "versions_seen": sorted({v for v, _, _ in records}),
+        "counters": dict(service.counters),
+        "per_class": service.stats.snapshot(),
+        "breaker": executor.breaker.snapshot(),
+        "quarantined": catalog.quarantined(),
+        "faults": plan.report(),
+    }
+    service.close()
+    return report

@@ -37,13 +37,30 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import Future
-from typing import Any, Deque, Dict, List, Optional, Sequence
+from typing import Any, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.engine.epoch import Epoch
+from repro.engine.epoch import Epoch, EpochRetired
+from repro.engine.router import ORIGINAL, RepresentationUnavailable
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.deadline import DeadlineExceeded, run_with_deadline
+from repro.faults.plan import FaultError, fault_point
 from repro.queries.pattern import STAR
+from repro.service.errors import (
+    QueryTimeout,
+    RetriesExhausted,
+    ServiceFault,
+    WorkerDied,
+)
 from repro.service.front import EngineService
 
 _MODES = ("thread", "fork")
+
+#: Failure classes worth another attempt: transient I/O (a flaky disk, an
+#: injected ``InjectedIOError``), injected faults, timeouts (the next
+#: attempt may hit a warm cache), and a pin that landed on an epoch freed
+#: under us.  Query-intrinsic errors (``TypeError``/``ValueError``) are
+#: deterministic and never retried.
+_RETRYABLE = (OSError, FaultError, TimeoutError, EpochRetired)
 
 
 def _resolve(future: "Future[Any]", value: Any = None,
@@ -66,7 +83,7 @@ def _resolve(future: "Future[Any]", value: Any = None,
 class _Task:
     """One queued unit: a single query or a caller-built batch."""
 
-    __slots__ = ("queries", "on", "algorithm", "future", "single")
+    __slots__ = ("queries", "on", "algorithm", "future", "single", "attempts")
 
     def __init__(self, queries: List[Any], on: str, algorithm: Optional[str],
                  future: "Future[Any]", single: bool) -> None:
@@ -75,6 +92,7 @@ class _Task:
         self.algorithm = algorithm
         self.future = future
         self.single = single
+        self.attempts = 0  # fork mode: worker-death resubmissions so far
 
 
 class QueryExecutor:
@@ -100,6 +118,25 @@ class QueryExecutor:
         Pattern-edge bounds eagerly built into the shared ``MatchContext``
         before forking (fork mode only) so children inherit the bitsets
         copy-on-write.
+    timeout_s:
+        Per-attempt wall-clock budget for one dispatched micro-batch
+        (thread mode; fork mode relies on worker-death recovery instead).
+        An attempt over budget fails with
+        :class:`~repro.service.errors.QueryTimeout` and is retried.
+        ``None`` (default) = no timeout.
+    retries:
+        Extra attempts after a retryable failure (transient I/O, injected
+        faults, timeouts, a freed-epoch race, a dead fork worker).  The
+        task fails with :class:`~repro.service.errors.RetriesExhausted`
+        (or :class:`~repro.service.errors.WorkerDied`) once the budget is
+        spent.  Query-intrinsic ``TypeError``/``ValueError`` never retry.
+    backoff_s:
+        Base sleep between attempts; doubles each retry.
+    breaker:
+        Per-representation circuit breaker.  A representation key tripped
+        open degrades its queries to direct-on-``G`` (answers unchanged)
+        until a cooldown probe succeeds.  Pass your own to share or tune;
+        default is a fresh ``CircuitBreaker(threshold=5, cooldown_s=0.5)``.
     """
 
     def __init__(
@@ -110,6 +147,10 @@ class QueryExecutor:
         mode: str = "thread",
         max_batch: int = 32,
         prewarm_bounds: Sequence[Any] = (1, 2, STAR),
+        timeout_s: Optional[float] = None,
+        retries: int = 2,
+        backoff_s: float = 0.01,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         if mode not in _MODES:
             raise ValueError(f"unknown mode {mode!r}; expected one of {_MODES}")
@@ -119,11 +160,23 @@ class QueryExecutor:
             raise ValueError("workers must be >= 1")
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None)")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if backoff_s < 0:
+            raise ValueError("backoff_s must be >= 0")
         self.service = service
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         self.mode = mode
         self.max_batch = max_batch
         self.prewarm_bounds = tuple(prewarm_bounds)
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            threshold=5, cooldown_s=0.5
+        )
         self._router = service._router
         self._lock = threading.Lock()
         self._shutdown = False
@@ -253,7 +306,19 @@ class QueryExecutor:
                            and self._queue[0].algorithm == first.algorithm):
                         tasks.append(self._queue.popleft())
                         budget -= 1
-            self._run_tasks(tasks)
+            try:
+                self._run_tasks(tasks)
+            except Exception as exc:  # noqa: BLE001 - worker must survive
+                # Safety net: _run_tasks handles its own failures; if
+                # something still escapes, fail the affected futures and
+                # keep the worker thread alive — a dead worker silently
+                # shrinks the pool.
+                for task in tasks:
+                    if not task.future.done():
+                        _resolve(task.future, exc=ServiceFault(
+                            f"internal dispatch failure: "
+                            f"{type(exc).__name__}: {exc}"
+                        ))
 
     def _run_tasks(self, tasks: List[_Task]) -> None:
         # Transition every future to RUNNING (dropping ones the caller
@@ -262,40 +327,116 @@ class QueryExecutor:
         running = [t for t in tasks if t.future.set_running_or_notify_cancel()]
         # Route each task's queries up front: one caller's unroutable
         # query must fail that caller alone, never its batch-mates.
-        live: List[_Task] = []
+        live: List[Tuple[_Task, Set[str]]] = []
         for task in running:
+            keys: Set[str] = set()
             try:
                 for q in task.queries:
-                    self._router.route(q, task.on)
+                    keys.add(self._router.route(q, task.on))
             except (TypeError, ValueError) as exc:
                 _resolve(task.future, exc=exc)
                 continue
-            live.append(task)
+            live.append((task, keys))
         if not live:
             return
+        # Partition around the circuit breaker: a task touching a tripped
+        # representation degrades to direct-on-G (answers unchanged — the
+        # preservation theorem again), the rest dispatch normally.
+        normal: List[_Task] = []
+        degraded: List[_Task] = []
+        for task, keys in live:
+            tripped = [k for k in keys
+                       if k != ORIGINAL and not self.breaker.allow(k)]
+            if tripped:
+                for k in tripped:
+                    self.service.stats.record_fallback(
+                        k, queries=len(task.queries)
+                    )
+                degraded.append(task)
+            else:
+                normal.append(task)
+        on, algorithm = live[0][0].on, live[0][0].algorithm
+        if normal:
+            keys = set().union(*(k for t, k in live if t in normal))
+            self._run_group(normal, on, algorithm, keys - {ORIGINAL})
+        if degraded:
+            self._run_group(degraded, ORIGINAL, None, set())
+
+    def _run_group(self, group: List[_Task], on: str,
+                   algorithm: Optional[str], keys: Set[str]) -> None:
+        """Dispatch one compatible task group with timeout + retry."""
         queries: List[Any] = []
-        for task in live:
+        for task in group:
             queries.extend(task.queries)
-        try:
-            with self.service.pin() as epoch:
-                version = epoch.version
-                answers = self._router.dispatch_batch(
-                    queries, epoch, on=live[0].on,
-                    algorithm=live[0].algorithm, stats=self.service.stats,
-                )
-        except BaseException as exc:  # propagate through every future
-            for task in live:
-                _resolve(task.future, exc=exc)
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                version, answers = self._attempt(queries, on, algorithm)
+            except Exception as exc:  # noqa: BLE001 - typed at the boundary
+                for key in keys:
+                    self.breaker.record_failure(key)
+                if isinstance(exc, _RETRYABLE) and attempt <= self.retries:
+                    time.sleep(self.backoff_s * (2 ** (attempt - 1)))
+                    continue
+                self._fail_group(group, exc, attempt)
+                return
+            for key in keys:
+                self.breaker.record_success(key)
+            self._note_dispatch(len(group), len(queries))
+            i = 0
+            for task in group:
+                chunk = answers[i:i + len(task.queries)]
+                i += len(task.queries)
+                # Which epoch answered — the stress harness correlates
+                # answers with the exact graph they were computed on.
+                task.future.epoch_version = version  # type: ignore[attr-defined]
+                _resolve(task.future, chunk[0] if task.single else chunk)
             return
-        self._note_dispatch(len(live), len(queries))
-        i = 0
-        for task in live:
-            chunk = answers[i:i + len(task.queries)]
-            i += len(task.queries)
-            # Which epoch answered — the stress harness correlates
-            # answers with the exact graph they were computed on.
-            task.future.epoch_version = version  # type: ignore[attr-defined]
-            _resolve(task.future, chunk[0] if task.single else chunk)
+
+    def _attempt(self, queries: List[Any], on: str,
+                 algorithm: Optional[str]) -> Tuple[int, List[Any]]:
+        """One pinned dispatch attempt, under the executor's timeout."""
+
+        def call() -> Tuple[int, List[Any]]:
+            fault_point("executor.dispatch")
+            with self.service.pin() as epoch:
+                answers = self._router.dispatch_batch(
+                    queries, epoch, on=on, algorithm=algorithm,
+                    stats=self.service.stats,
+                )
+                return epoch.version, answers
+
+        if self.timeout_s is None:
+            return call()
+        try:
+            return run_with_deadline(call, self.timeout_s, label="dispatch")
+        except DeadlineExceeded as exc:
+            raise QueryTimeout(
+                f"micro-batch of {len(queries)} quer"
+                f"{'y' if len(queries) == 1 else 'ies'} exceeded the "
+                f"{self.timeout_s:g}s timeout"
+            ) from exc
+
+    @staticmethod
+    def _fail_group(group: List[_Task], exc: BaseException,
+                    attempts: int) -> None:
+        """Fail every future in *group* with a typed, caller-safe error."""
+        if isinstance(exc, (TypeError, ValueError, ServiceFault)):
+            wrapped: BaseException = exc  # already part of the contract
+        elif isinstance(exc, _RETRYABLE):
+            wrapped = RetriesExhausted(
+                f"dispatch failed after {attempts} attempt"
+                f"{'' if attempts == 1 else 's'}: {type(exc).__name__}: {exc}"
+            )
+            wrapped.__cause__ = exc
+        else:
+            wrapped = ServiceFault(
+                f"dispatch failed: {type(exc).__name__}: {exc}"
+            )
+            wrapped.__cause__ = exc
+        for task in group:
+            _resolve(task.future, exc=wrapped)
 
     def _note_dispatch(self, tasks: int, queries: int) -> None:
         with self._agg_lock:
@@ -308,39 +449,103 @@ class QueryExecutor:
     # ------------------------------------------------------------------
     # Fork mode
     # ------------------------------------------------------------------
-    def _submit_fork(self, task: _Task) -> None:
+    def _submit_fork(self, task: _Task, resubmit: bool = False) -> None:
+        if not resubmit:
+            # Circuit breaker, parent side (children cannot share one):
+            # route now and degrade the whole task to direct-on-G when a
+            # representation it needs is tripped open.
+            keys: Set[str] = set()
+            try:
+                for q in task.queries:
+                    keys.add(self._router.route(q, task.on))
+            except (TypeError, ValueError) as exc:
+                if task.future.set_running_or_notify_cancel():
+                    _resolve(task.future, exc=exc)
+                return
+            tripped = [k for k in keys
+                       if k != ORIGINAL and not self.breaker.allow(k)]
+            if tripped:
+                for k in tripped:
+                    self.service.stats.record_fallback(
+                        k, queries=len(task.queries)
+                    )
+                task.on = ORIGINAL
+                task.algorithm = None
+            start = time.perf_counter()
+
+            def note(_f: "Future[Any]", n: int = len(task.queries),
+                     _keys: Set[str] = keys - {ORIGINAL}) -> None:
+                if _f.cancelled():
+                    return  # never evaluated: not served workload
+                if _f.exception() is not None:
+                    for key in _keys:
+                        self.breaker.record_failure(key)
+                    return
+                for key in _keys:
+                    self.breaker.record_success(key)
+                self._note_dispatch(1, n)
+                # Parent-side stats: children cannot write the shared
+                # RouterStats, so attribute the task's wall time to the
+                # routed classes here (hit counts exact, latencies
+                # approximate).
+                elapsed = time.perf_counter() - start
+                by_key: Dict[str, int] = {}
+                for q in task.queries:
+                    try:
+                        key = self._router.route(q, task.on)
+                    except (TypeError, ValueError):
+                        continue
+                    by_key[key] = by_key.get(key, 0) + 1
+                for key, count in by_key.items():
+                    self.service.stats.record(key, elapsed, queries=count)
+
+            task.future.add_done_callback(note)
         with self._lock:
             if self._shutdown:
+                if resubmit:
+                    _resolve(task.future, exc=WorkerDied(
+                        "executor shut down while recovering a task from a "
+                        "dead fork worker"
+                    ))
+                    return
                 raise RuntimeError("executor is shut down")
             pool = self._pool
-            if pool is None or pool.version != self.service.version:
+            if pool is None or pool.version != self.service.version or pool.broken:
                 if pool is not None:
                     self._pool = None  # never re-shutdown on a failed respawn
-                    pool.shutdown(wait=True)  # drain the superseded epoch
+                    pool.shutdown(wait=not pool.broken)  # drain superseded epoch
                 pool = _ForkPool(self)
                 self._pool = pool
-        start = time.perf_counter()
+        pool.submit(task, resubmit=resubmit)
 
-        def note(_f: "Future[Any]", n: int = len(task.queries)) -> None:
-            if _f.cancelled() or _f.exception() is not None:
-                return  # never evaluated (or failed): not served workload
-            self._note_dispatch(1, n)
-            # Parent-side stats: children cannot write the shared
-            # RouterStats, so attribute the task's wall time to the routed
-            # classes here (hit counts exact, latencies approximate).
-            elapsed = time.perf_counter() - start
-            by_key: Dict[str, int] = {}
-            for q in task.queries:
-                try:
-                    key = self._router.route(q, task.on)
-                except (TypeError, ValueError):
-                    continue
-                by_key[key] = by_key.get(key, 0) + 1
-            for key, count in by_key.items():
-                self.service.stats.record(key, elapsed, queries=count)
+    def _on_pool_broken(self, pool: "_ForkPool",
+                        orphans: List[_Task]) -> None:
+        """A fork worker died: replace the pool, resubmit its in-flight
+        tasks (bounded by ``retries``), fail the rest with ``WorkerDied``.
 
-        task.future.add_done_callback(note)
-        pool.submit(task)
+        Resubmitted tasks re-evaluate from scratch on the replacement pool
+        — evaluation is deterministic over an immutable epoch, so a task
+        whose answer raced the crash simply produces the same answer again.
+        """
+        with self._lock:
+            if self._pool is pool:
+                self._pool = None
+        pool.shutdown(wait=False)
+        for task in orphans:
+            task.attempts += 1
+            if task.attempts > self.retries:
+                _resolve(task.future, exc=WorkerDied(
+                    f"fork worker died; task abandoned after "
+                    f"{task.attempts} attempt{'' if task.attempts == 1 else 's'}"
+                ))
+                continue
+            try:
+                self._submit_fork(task, resubmit=True)
+            except Exception as exc:  # noqa: BLE001 - recovery must not raise
+                _resolve(task.future, exc=WorkerDied(
+                    f"fork worker died and the replacement pool failed: "
+                    f"{type(exc).__name__}: {exc}"
+                ))
 
 
 def _fork_worker(epoch: Epoch, router: Any, task_q: Any, result_q: Any) -> None:
@@ -357,6 +562,9 @@ def _fork_worker(epoch: Epoch, router: Any, task_q: Any, result_q: Any) -> None:
             return
         task_id, on, algorithm, queries = item
         try:
+            # Fault site for chaos "kill" rules (os._exit in the child):
+            # exercises the parent's worker-death monitor and resubmission.
+            fault_point("executor.fork.worker")
             answers = router.dispatch_batch(
                 queries, epoch, on=on, algorithm=algorithm, stats=None
             )
@@ -373,16 +581,29 @@ class _ForkPool:
         import multiprocessing
 
         self._mp = multiprocessing.get_context("fork")
+        self._executor = executor
         service = executor.service
         self._epoch = service._acquire_current()  # pinned for the pool's life
         self._released = False
+        self.broken = False  # a worker died; executor will replace the pool
+        self._closing = False  # orderly shutdown: worker exits are expected
+        self._shut = False
         try:
             self.version = self._epoch.version
-            # Pre-warm so children inherit everything copy-on-write.
+            # Pre-warm so children inherit everything copy-on-write.  A
+            # degraded representation (build failed/timed out this epoch)
+            # is skipped: children inherit the degradation marker instead
+            # and their router falls back to direct-on-G.
             for key in ("reachability", "pattern"):
-                self._epoch.artifact(key)
+                try:
+                    self._epoch.artifact(key)
+                except RepresentationUnavailable:
+                    pass
             for key in ("pattern", "original"):
-                ctx = self._epoch.context_for(key)
+                try:
+                    ctx = self._epoch.context_for(key)
+                except RepresentationUnavailable:
+                    continue
                 if ctx is not None:
                     ctx.prepare(bounds=executor.prewarm_bounds)
             self._task_q = self._mp.SimpleQueue()
@@ -405,6 +626,11 @@ class _ForkPool:
                 target=self._collect, name="repro-exec-collector", daemon=True
             )
             self._collector.start()
+            self._monitor = threading.Thread(
+                target=self._watch_workers, name="repro-exec-monitor",
+                daemon=True,
+            )
+            self._monitor.start()
         except BaseException:
             # A failed pre-warm or spawn must not leak the pin — a retired
             # epoch with a leaked pin never drains its memory.
@@ -412,16 +638,40 @@ class _ForkPool:
             self._epoch.release()
             raise
 
-    def submit(self, task: _Task) -> None:
+    def submit(self, task: _Task, resubmit: bool = False) -> None:
         # Once shipped to a worker process the task cannot be recalled:
         # transition to RUNNING now (a pre-submit cancel is honoured here).
-        if not task.future.set_running_or_notify_cancel():
+        # A resubmitted task is already RUNNING from its first submission.
+        if not resubmit and not task.future.set_running_or_notify_cancel():
             return
         with self._pending_lock:
             task_id = self._next_id
             self._next_id += 1
             self._pending[task_id] = task
         self._task_q.put((task_id, task.on, task.algorithm, task.queries))
+
+    def _watch_workers(self) -> None:
+        """Detect a dead worker and hand recovery to the executor.
+
+        A worker that exits while the pool is live (not ``_closing``) took
+        whatever task it was evaluating with it.  Which task is unknowable
+        from the parent, so *all* in-flight tasks are pulled back and
+        resubmitted against a replacement pool — re-evaluating a task that
+        actually completed is harmless (deterministic answers over an
+        immutable epoch; its late duplicate result is dropped by the
+        pending-table pop).
+        """
+        while not self._closing:
+            if any(not p.is_alive() for p in self._procs):
+                if self._closing:  # pragma: no cover - shutdown race
+                    return
+                self.broken = True
+                with self._pending_lock:
+                    orphans = list(self._pending.values())
+                    self._pending.clear()
+                self._executor._on_pool_broken(self, orphans)
+                return
+            time.sleep(0.02)
 
     def _collect(self) -> None:
         while True:
@@ -437,11 +687,15 @@ class _ForkPool:
             if ok:
                 _resolve(task.future, payload[0] if task.single else payload)
             else:
-                _resolve(task.future, exc=RuntimeError(
+                _resolve(task.future, exc=ServiceFault(
                     f"fork worker failed: {payload}"
                 ))
 
     def shutdown(self, wait: bool = True) -> None:
+        if self._shut:
+            return
+        self._shut = True
+        self._closing = True
         if wait:
             # Wait for every pending future (results keep flowing while
             # we wait; workers exit on their sentinel afterwards).
@@ -468,7 +722,7 @@ class _ForkPool:
             self._pending.clear()
         for task in dropped:
             # Already RUNNING (cancel would refuse): fail them explicitly.
-            _resolve(task.future, exc=RuntimeError(
+            _resolve(task.future, exc=ServiceFault(
                 "executor shut down before the fork pool answered"
             ))
         if not self._released:

@@ -29,14 +29,16 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, NoReturn, Optional, Tuple
 
-from repro.engine.counters import RouterStats
+from repro.engine.counters import RouterStats, bump
 from repro.engine.epoch import Epoch
 from repro.engine.router import QueryRouter
 from repro.engine.session import GraphEngine, GraphSource, UpdateReport
 from repro.engine.updates import EdgeUpdate, UpdateJournal, effective_updates
+from repro.faults.plan import fault_point
 from repro.graph.digraph import DiGraph
+from repro.service.errors import ApplyError
 
 
 class EngineService:
@@ -55,6 +57,10 @@ class EngineService:
         any epoch's exact graph.  Verification machinery — leave off in
         production unless you need time travel; it grows with the update
         history.
+    build_deadline_s:
+        Wall-clock budget for each published epoch's lazy Gr/Gb builds.
+        A build over budget degrades that representation to direct-on-G
+        for the epoch (answers unchanged).  ``None`` (default) = no limit.
     """
 
     def __init__(
@@ -65,10 +71,13 @@ class EngineService:
         backend: str = "csr",
         router: Optional[QueryRouter] = None,
         journal: bool = False,
+        build_deadline_s: Optional[float] = None,
     ) -> None:
         self._engine = GraphEngine(
             source, catalog, backend=backend, refreeze_threshold=None, router=router
         )
+        self._catalog = catalog
+        self._build_deadline_s = build_deadline_s
         self._router = router if router is not None else QueryRouter()
         #: Shared per-class routing stats — one instance across all reader
         #: threads and executor workers (feeds the router's hot-first probe).
@@ -81,7 +90,9 @@ class EngineService:
         )
         self._closed = False
         self._version = 0
-        self._current: Epoch = self._engine.epoch(0)
+        self._current: Epoch = self._engine.epoch(
+            0, build_deadline_s=build_deadline_s
+        )
         #: Retired epochs whose readers have not drained yet (diagnostics).
         self._draining: List[Epoch] = []
 
@@ -183,28 +194,48 @@ class EngineService:
     # Write side (single writer)
     # ------------------------------------------------------------------
     def apply(self, deltas: Iterable[EdgeUpdate]) -> UpdateReport:
-        """Apply a ΔG batch and publish a new epoch.
+        """Apply a ΔG batch and publish a new epoch — transactionally.
 
         Serialised by the writer lock (concurrent writers queue up, they
         do not error).  Readers pinned to the previous epoch finish their
         queries on it; the superseded epoch is retired and frees its
         derived state when the last such reader drains.
+
+        A failure anywhere between accepting the batch and publishing the
+        new epoch rolls the writer back to the prior epoch's exact graph
+        and raises :class:`~repro.service.errors.ApplyError`: readers
+        never observe a half-applied batch (``self._current`` is only ever
+        swapped to a fully-built epoch), and the journal records only
+        published versions.
         """
         deltas = list(deltas)
         with self._writer_lock:
             if self._closed:
                 raise RuntimeError("service is closed")
-            # The overlay simulation is journal-only bookkeeping (the
-            # engine recomputes its own); skip it on the plain write path.
-            effective = (
-                effective_updates(self._engine.graph, deltas)
-                if self._journal is not None else None
-            )
-            report = self._engine.apply(deltas)
+            prior = self._current
             new_version = self._version + 1
+            try:
+                fault_point("service.apply")
+                # The overlay simulation is journal-only bookkeeping (the
+                # engine recomputes its own); skip it on the plain write path.
+                effective = (
+                    effective_updates(self._engine.graph, deltas)
+                    if self._journal is not None else None
+                )
+                report = self._engine.apply(deltas)
+                new_epoch = self._engine.epoch(
+                    new_version, build_deadline_s=self._build_deadline_s
+                )
+                fault_point("service.publish")
+            except (TypeError, ValueError):
+                # Caller-input validation — the engine rejects before
+                # touching state, no rollback needed, surface as-is.
+                raise
+            except Exception as exc:  # noqa: BLE001 - transactional boundary
+                self._rollback(prior, exc)
             if self._journal is not None and effective is not None:
                 self._journal.record(new_version, effective)
-            self._publish(self._engine.epoch(new_version))
+            self._publish(new_epoch)
         return report
 
     def refreeze(self) -> Epoch:
@@ -212,7 +243,46 @@ class EngineService:
         with self._writer_lock:
             if self._closed:
                 raise RuntimeError("service is closed")
-            return self._publish(self._engine.epoch(self._version + 1))
+            prior = self._current
+            try:
+                new_epoch = self._engine.epoch(
+                    self._version + 1, build_deadline_s=self._build_deadline_s
+                )
+            except Exception as exc:  # noqa: BLE001 - transactional boundary
+                self._rollback(prior, exc)
+            return self._publish(new_epoch)
+
+    def _rollback(self, prior: Epoch, exc: BaseException) -> NoReturn:
+        """Reset the writer to *prior*'s exact graph and raise ApplyError.
+
+        Readers are untouched — ``self._current`` still is *prior* (the
+        swap never happened).  Only the writer-side engine may hold
+        partially-applied state, so it is rebuilt from the prior epoch's
+        frozen snapshot: cheap (the CSR is already frozen and, with a
+        catalog, content-addressed, so no recompression happens) and
+        exact (the snapshot *is* the published graph).
+        """
+        counters = self._engine.counters
+        self._engine = GraphEngine(
+            prior.csr,
+            self._catalog,
+            backend=self._engine.backend,
+            refreeze_threshold=None,
+            router=self._router,
+        )
+        # Keep the lifecycle counters dict *identity*: published epochs
+        # (including *prior*, still serving) bump into it.
+        counters.update(
+            {k: v for k, v in self._engine.counters.items() if k not in counters}
+        )
+        self._engine.counters = counters
+        bump(counters, "apply_rollbacks")
+        raise ApplyError(
+            f"update batch failed before publication "
+            f"({type(exc).__name__}: {exc}); rolled back to epoch "
+            f"{prior.version}",
+            version=prior.version,
+        ) from exc
 
     def _publish(self, new_epoch: Epoch) -> Epoch:
         """Swap in *new_epoch* and retire its predecessor.

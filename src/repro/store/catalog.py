@@ -38,6 +38,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.pattern import PatternCompression, compress_pattern_csr
+from repro.faults.plan import fault_data, fault_point
 from repro.core.reachability import ReachabilityCompression, compress_reachability_csr
 from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
@@ -61,6 +62,20 @@ GraphSource = Union[str, DiGraph, CSRGraph]
 _BASE_NAME = "base.rgs"
 _META_NAME = "meta.json"
 _VARIANT_SUFFIX = ".rpv"
+#: Corrupt files are moved here (never deleted): forensics stay available
+#: while the entry stops advertising the bad bytes.
+_QUARANTINE_DIR = "quarantine"
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for *pid* on this host."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True  # EPERM: alive, just not ours to signal
+    return True
 
 
 class CatalogError(SnapshotError):
@@ -258,16 +273,41 @@ class _DirectoryLock:
             except OSError:
                 pass  # broken as stale already; the token check handles release
 
+    def _owner_pid(self) -> Optional[int]:
+        """The pid recorded in the lock file, or ``None`` if unreadable."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                token = fh.readline()
+        except OSError:
+            return None
+        for part in token.split():
+            if part.startswith("pid="):
+                try:
+                    pid = int(part[4:])
+                except ValueError:
+                    return None
+                return pid if pid > 0 else None
+        return None
+
     def _break_if_stale(self) -> None:
         try:
             age = time.time() - self.path.stat().st_mtime
         except OSError:
             return  # released between the failed create and the stat
-        if age > self.stale_after:
-            try:
-                os.unlink(self.path)
-            except OSError:
-                pass  # another waiter broke it first
+        if age <= self.stale_after:
+            return
+        # A stale heartbeat alone is not proof of death: the holder's
+        # heartbeat *thread* can die (interpreter tearing down, thread
+        # crash) while the process — and its critical section — live on.
+        # Reclaim only when the recorded owner pid is provably not
+        # running; an unreadable/foreign token falls back to age alone.
+        pid = self._owner_pid()
+        if pid is not None and _pid_alive(pid):
+            return  # live owner with a dead heartbeat: honour the hold
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass  # another waiter broke it first
 
 
 class SnapshotCatalog:
@@ -287,9 +327,56 @@ class SnapshotCatalog:
         # warm hits must never observe a half-written dict.
         self._graphs: Dict[str, CSRGraph] = {}
         self._graphs_lock = threading.Lock()
+        #: Files moved to quarantine by this handle (process-local log;
+        #: the on-disk quarantine directory is the cross-process record).
+        self._quarantined: List[str] = []
         _LIVE_CATALOGS.add(self)
         self._lock = _DirectoryLock(
             self.root / ".lock", timeout=lock_timeout, stale_after=lock_stale_after
+        )
+
+    # ------------------------------------------------------------------
+    # Quarantine
+    # ------------------------------------------------------------------
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a provably corrupt file out of the serving layout.
+
+        The entry stops advertising the bad bytes (so rebuild paths run
+        exactly once per bad file — the next probe finds nothing), while
+        the bytes themselves survive under ``quarantine/`` for forensics.
+        Best-effort: on a read-only catalog the move fails silently and
+        the caller's recompute path still runs.
+        """
+        qdir = self.root / _QUARANTINE_DIR
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            stem = f"{path.parent.parent.name}-{path.name}" \
+                if path.parent.name == "variants" else f"{path.parent.name}-{path.name}"
+            target = qdir / stem
+            n = 0
+            while target.exists():
+                n += 1
+                target = qdir / f"{stem}.{n}"
+            os.replace(path, target)
+            (qdir / (target.name + ".reason")).write_text(
+                reason + "\n", encoding="utf-8"
+            )
+        except OSError:
+            # Can't move (read-only / concurrent repair): drop the name if
+            # possible so the corrupt bytes stop being served either way.
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                return
+        self._quarantined.append(str(path))
+
+    def quarantined(self) -> List[str]:
+        """Quarantined file names currently on disk (sorted)."""
+        qdir = self.root / _QUARANTINE_DIR
+        if not qdir.is_dir():
+            return []
+        return sorted(
+            p.name for p in qdir.iterdir() if not p.name.endswith(".reason")
         )
 
     def lock(self) -> _DirectoryLock:
@@ -368,7 +455,13 @@ class SnapshotCatalog:
         if not path.exists():
             raise CatalogError(f"catalog has no entry {digest!r}")
         self._touch(path)
-        data = path.read_bytes()
+        try:
+            fault_point("catalog.base.read")
+            data = fault_data("catalog.base.bytes", path.read_bytes())
+        except OSError as exc:
+            raise CatalogError(
+                f"entry {digest!r} base snapshot is unreadable ({exc})"
+            ) from exc
         try:
             csr = load_bytes(data)
         except SnapshotVersionError as exc:
@@ -380,12 +473,13 @@ class SnapshotCatalog:
             ) from exc
         except SnapshotError as exc:
             # A corrupt base is provably not the content its digest names;
-            # drop it so the entry stops advertising itself and a later
-            # put() of the graph rewrites the file instead of skipping it.
-            path.unlink(missing_ok=True)
+            # quarantine it so the entry stops advertising itself and a
+            # later put() of the graph rewrites the file instead of
+            # skipping it — while the bad bytes stay inspectable.
+            self._quarantine(path, f"corrupt base for entry {digest}: {exc}")
             raise CatalogError(
                 f"entry {digest!r} had a corrupt base snapshot ({exc}); "
-                "it has been dropped — re-put the graph to repair"
+                "it has been quarantined — re-put the graph to repair"
             ) from exc
         body = data[HEADER_SIZE:]
         actual = hashlib.sha256(body).hexdigest()
@@ -448,6 +542,7 @@ class SnapshotCatalog:
         guarded = dict(arrays)
         guarded[self._GUARD_SECTION] = list(bytes.fromhex(digest))
         try:
+            fault_point("catalog.variant.write")
             with self._lock:
                 path.parent.mkdir(parents=True, exist_ok=True)
                 atomic_write_bytes(path, encode_int_sections(guarded))
@@ -460,26 +555,41 @@ class SnapshotCatalog:
         """Decode a variant file; returns ``(arrays_or_None, writable)``.
 
         An unreadable file (corruption, permission or I/O errors) or one
-        whose embedded base digest does not match self-heals: the caller
-        recomputes from the intact base snapshot and rewrites the variant,
-        mirroring the bench snapshot cache's repair path.  A *newer-format*
-        file is also recomputed in memory, but ``writable`` comes back
-        False so an older tool sharing the catalog never overwrites the
-        newer tool's cache.
+        whose embedded base digest does not match self-heals: the provably
+        corrupt file is quarantined (exactly once — the move takes its
+        name out of the layout) and the caller recomputes from the intact
+        base snapshot and rewrites the variant, mirroring the bench
+        snapshot cache's repair path.  A *newer-format* file is also
+        recomputed in memory, but ``writable`` comes back False so an
+        older tool sharing the catalog never overwrites the newer tool's
+        cache.
         """
         if not path.exists():
             return None, True
         try:
-            arrays = decode_int_sections(path.read_bytes())
+            fault_point("catalog.variant.read")
+            data = fault_data("catalog.variant.bytes", path.read_bytes())
+        except OSError:
+            # Transient read trouble (or an injected I/O error): the file
+            # itself is not proven bad — recompute, leave it in place.
+            return None, True
+        try:
+            arrays = decode_int_sections(data)
         except SnapshotVersionError:
             return None, False  # newer writer's data: compute, don't clobber
-        except (SnapshotError, OSError):
+        except SnapshotError as exc:
+            self._quarantine(path, f"corrupt variant for entry {digest}: {exc}")
             return None, True
         try:
             guard = bytes(arrays.pop(self._GUARD_SECTION, []))
         except ValueError:  # guard values outside 0..255: not a valid digest
+            self._quarantine(path, f"variant guard malformed for entry {digest}")
             return None, True
         if guard.hex() != digest:
+            self._quarantine(
+                path,
+                f"variant guard names {guard.hex()!r}, entry is {digest!r}",
+            )
             return None, True
         return arrays, True
 

@@ -34,6 +34,7 @@ import zlib
 from pathlib import Path
 from typing import Dict, Hashable, List, Tuple, Union
 
+from repro.faults.plan import fault_data, fault_point
 from repro.graph.csr import CSRBuffers, CSRGraph, reverse_from_forward
 
 PathLike = Union[str, Path]
@@ -515,22 +516,29 @@ TMP_MARKER = ".rpgtmp-"
 
 
 def atomic_write_bytes(path: PathLike, data: bytes) -> None:
-    """Write *data* to *path* via a same-directory temp file + rename.
+    """Write *data* to *path* via temp file + fsync + rename.
 
     An interrupted write must never leave a partial file behind: a
     half-written snapshot would pass ``exists()`` checks forever (poisoning
     the catalog and the bench snapshot cache) while failing its CRC on
     every load.  ``mkstemp`` gives each writer — including threads of one
-    process — its own temp name; a hard kill can still orphan one, which
+    process — its own temp name; the ``fsync`` before the rename means a
+    crash (or power loss) straddling the ``os.replace`` leaves either the
+    old content or the complete new content, never a name pointing at
+    unflushed bytes.  A hard kill can still orphan a temp file, which
     :func:`sweep_stale_tmp` cleans on the next directory open.
     """
+    fault_point("store.write")
     target = Path(path)
     fd, tmp_name = tempfile.mkstemp(
         prefix=target.name + TMP_MARKER, dir=target.parent
     )
     try:
         with os.fdopen(fd, "wb") as fh:
-            fh.write(data)
+            fh.write(fault_data("store.write.bytes", data))
+            fh.flush()
+            os.fsync(fh.fileno())
+        fault_point("store.write.replace")
         os.replace(tmp_name, target)
     except BaseException:
         Path(tmp_name).unlink(missing_ok=True)
@@ -574,7 +582,8 @@ def save_snapshot(csr: CSRGraph, path: PathLike) -> None:
 
 def load_snapshot(path: PathLike) -> CSRGraph:
     """Read a snapshot written by :func:`save_snapshot`."""
-    return load_bytes(Path(path).read_bytes())
+    fault_point("store.read")
+    return load_bytes(fault_data("store.read.bytes", Path(path).read_bytes()))
 
 
 # ----------------------------------------------------------------------
