@@ -109,6 +109,48 @@ def compare_payloads(
                     f"pass {label}: {cur_val:.2f} >= {floor:.2f} "
                     f"(baseline {base_val:.2f})"
                 )
+
+    # Latency-percentile tail ratios (service): *lower* is better, so the
+    # band is a ceiling, and it is doubled — tails are noisier than
+    # throughput medians on shared runners, and a real tail regression
+    # (a class of queries suddenly 10x over its median) clears any band.
+    base_pct = baseline.get("percentiles")
+    if base_pct:
+        cur_pct = current.get("percentiles", {})
+        ceiling_factor = 1.0 + 2.0 * tolerance
+        for cls, base_entry in sorted(base_pct.items()):
+            base_tail = _numeric(base_entry.get("tail_ratio"))
+            if base_tail is None:
+                continue
+            label = f"[{experiment}] {cls} tail_ratio(p99/p50)"
+            base_count = _numeric(base_entry.get("count"))
+            if base_count is not None and base_count < 50:
+                lines.append(
+                    f"note {label}: only {int(base_count)} baseline "
+                    f"samples; not gated"
+                )
+                continue
+            cur_entry = cur_pct.get(cls)
+            cur_tail = (
+                _numeric(cur_entry.get("tail_ratio"))
+                if cur_entry is not None else None
+            )
+            if cur_tail is None:
+                ok = False
+                lines.append(f"FAIL {label}: missing from current results")
+                continue
+            ceiling = base_tail * ceiling_factor
+            if cur_tail > ceiling:
+                ok = False
+                lines.append(
+                    f"FAIL {label}: {cur_tail:.2f} > {ceiling:.2f} "
+                    f"(baseline {base_tail:.2f}, tolerance {tolerance:.0%} doubled)"
+                )
+            else:
+                lines.append(
+                    f"pass {label}: {cur_tail:.2f} <= {ceiling:.2f} "
+                    f"(baseline {base_tail:.2f})"
+                )
     return ok, lines
 
 

@@ -8,17 +8,36 @@ representation key (``"reachability"``, ``"pattern"``, ``"original"``) with
 its latency, and consumers read back per-class hit counts and latency
 aggregates.
 
-The object is thread-safe by design — the concurrent service front
-(:mod:`repro.service`) shares one instance across every worker thread — and
-cheap: one small lock around integer/float bumps, no allocation on the
-record path.
+Since the ``repro.obs`` PR the numbers live in a
+:class:`repro.obs.metrics.MetricsRegistry` — ``RouterStats`` is a thin
+view over four metric families (``router_queries_total``,
+``router_dispatches_total``, ``router_dispatch_seconds``,
+``router_fallbacks_total``, all labeled by class) rather than a parallel
+counter system.  The public API is unchanged; what's new is that the same
+series surface in Prometheus exposition and carry latency *distributions*
+(p50/p95/p99 via :meth:`RouterStats.percentiles`), not just totals.  By
+default an instance binds to the installed process registry
+(:func:`repro.obs.metrics.current_registry`) so service stats land in
+``python -m repro.service metrics``; with nothing installed it gets a
+private registry and behaves exactly like the old self-contained object.
+
+The object stays thread-safe and cheap: the concurrent service front
+(:mod:`repro.service`) shares one instance across every worker thread,
+and the record path is a few dict bumps under one registry lock.
 """
 
 from __future__ import annotations
 
 import os
 import threading
-from typing import Dict, Iterable, List, Union
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    current_registry,
+)
 
 Number = Union[int, float]
 
@@ -47,19 +66,6 @@ def bump(counters: Dict[str, int], key: str, n: int = 1) -> None:
         counters[key] = counters.get(key, 0) + n
 
 
-class _ClassEntry:
-    """Mutable per-class aggregate (internal; snapshots are plain dicts)."""
-
-    __slots__ = ("hits", "dispatches", "total_s", "max_s", "fallbacks")
-
-    def __init__(self) -> None:
-        self.hits = 0  # queries answered under this key
-        self.dispatches = 0  # dispatch calls (a batch is one dispatch)
-        self.total_s = 0.0
-        self.max_s = 0.0
-        self.fallbacks = 0  # queries degraded away from this key to G
-
-
 class RouterStats:
     """Thread-safe per-representation hit counts and latency aggregates.
 
@@ -69,24 +75,37 @@ class RouterStats:
     (:meth:`snapshot`, :meth:`hits`) or a hint (:meth:`hot_order`) — the
     router uses the latter to probe the most-hit representation first on
     ``on="auto"`` dispatch.
+
+    All state lives in *registry* (the installed process registry by
+    default, else a fresh private one): this object holds no counts of
+    its own, so RouterStats readers, Prometheus exposition and the bench
+    percentile pass all see the same numbers.
     """
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._classes: Dict[str, _ClassEntry] = {}
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        if registry is None:
+            registry = current_registry()
+        if registry is None:
+            registry = MetricsRegistry()
+        self.registry = registry
+        queries = registry.from_schema("router_queries_total")
+        dispatches = registry.from_schema("router_dispatches_total")
+        latency = registry.from_schema("router_dispatch_seconds")
+        fallbacks = registry.from_schema("router_fallbacks_total")
+        assert isinstance(queries, Counter) and isinstance(dispatches, Counter)
+        assert isinstance(latency, Histogram) and isinstance(fallbacks, Counter)
+        self._queries = queries
+        self._dispatches = dispatches
+        self._latency = latency
+        self._fallbacks = fallbacks
 
     # -- write path ------------------------------------------------------
     def record(self, key: str, seconds: float, queries: int = 1) -> None:
         """Fold one dispatch of *queries* queries under *key* into the stats."""
-        with self._lock:
-            entry = self._classes.get(key)
-            if entry is None:
-                entry = self._classes[key] = _ClassEntry()
-            entry.hits += queries
-            entry.dispatches += 1
-            entry.total_s += seconds
-            if seconds > entry.max_s:
-                entry.max_s = seconds
+        labels = (key,)
+        self._queries.inc(queries, labels)
+        self._dispatches.inc(1, labels)
+        self._latency.observe(seconds, labels)
 
     def record_fallback(self, key: str, queries: int = 1) -> None:
         """Note that *queries* queries routed to *key* degraded to ``G``.
@@ -95,49 +114,67 @@ class RouterStats:
         ``"original"`` by the router; this counter keeps the *intent*
         visible — how often each representation could not serve.
         """
-        with self._lock:
-            entry = self._classes.get(key)
-            if entry is None:
-                entry = self._classes[key] = _ClassEntry()
-            entry.fallbacks += queries
+        self._fallbacks.inc(queries, (key,))
 
     def fallbacks(self, key: str) -> int:
         """Queries degraded away from *key* so far (0 for a clean key)."""
-        with self._lock:
-            entry = self._classes.get(key)
-            return entry.fallbacks if entry is not None else 0
+        return int(self._fallbacks.value((key,)))
 
     def clear(self) -> None:
-        with self._lock:
-            self._classes.clear()
+        self._queries.clear()
+        self._dispatches.clear()
+        self._latency.clear()
+        self._fallbacks.clear()
 
     # -- read path -------------------------------------------------------
     def hits(self, key: str) -> int:
         """Queries answered under *key* so far (0 for a never-hit key)."""
-        with self._lock:
-            entry = self._classes.get(key)
-            return entry.hits if entry is not None else 0
+        return int(self._queries.value((key,)))
 
     def total_queries(self) -> int:
-        with self._lock:
-            return sum(e.hits for e in self._classes.values())
+        return int(sum(self._queries.values().values()))
 
     def snapshot(self) -> Dict[str, Dict[str, Number]]:
         """Immutable per-class aggregates, for logging and benchmarks."""
-        with self._lock:
-            out: Dict[str, Dict[str, Number]] = {}
-            for key, e in sorted(self._classes.items()):
-                out[key] = {
-                    "hits": e.hits,
-                    "dispatches": e.dispatches,
-                    "total_ms": round(e.total_s * 1e3, 3),
-                    "mean_ms": round(e.total_s / e.dispatches * 1e3, 3)
-                    if e.dispatches
-                    else 0.0,
-                    "max_ms": round(e.max_s * 1e3, 3),
-                    "fallbacks": e.fallbacks,
-                }
-            return out
+        hits = self._queries.values()
+        dispatches = self._dispatches.values()
+        fallbacks = self._fallbacks.values()
+        keys = {labels[0] for labels in hits}
+        keys.update(labels[0] for labels in fallbacks)
+        out: Dict[str, Dict[str, Number]] = {}
+        for key in sorted(keys):
+            labels = (key,)
+            n_disp = int(dispatches.get(labels, 0))
+            total_s = self._latency.sum(labels)
+            out[key] = {
+                "hits": int(hits.get(labels, 0)),
+                "dispatches": n_disp,
+                "total_ms": round(total_s * 1e3, 3),
+                "mean_ms": round(total_s / n_disp * 1e3, 3) if n_disp else 0.0,
+                "max_ms": round(self._latency.max(labels) * 1e3, 3),
+                "fallbacks": int(fallbacks.get(labels, 0)),
+            }
+        return out
+
+    def percentiles(self) -> Dict[str, Dict[str, Number]]:
+        """Estimated p50/p95/p99 dispatch latency (ms) per class.
+
+        Histogram-estimated (fixed buckets, linear interpolation), so the
+        bench records them alongside ``snapshot()`` aggregates; classes
+        with no dispatches are omitted.
+        """
+        out: Dict[str, Dict[str, Number]] = {}
+        for labels in self._latency.labelsets():
+            count = self._latency.count(labels)
+            if not count:
+                continue
+            out[labels[0]] = {
+                "p50_ms": round(self._latency.percentile(0.50, labels) * 1e3, 4),
+                "p95_ms": round(self._latency.percentile(0.95, labels) * 1e3, 4),
+                "p99_ms": round(self._latency.percentile(0.99, labels) * 1e3, 4),
+                "count": count,
+            }
+        return out
 
     def hot_order(self, keys: Iterable[str]) -> List[str]:
         """*keys* reordered most-hit first (stable for ties).
@@ -148,14 +185,13 @@ class RouterStats:
         class is preserved by exactly one representation.
         """
         ordered = list(keys)
-        with self._lock:
-            counts = {k: e.hits for k, e in self._classes.items()}
+        counts = {labels[0]: n for labels, n in self._queries.values().items()}
         ordered.sort(key=lambda k: -counts.get(k, 0))
         return ordered
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        with self._lock:
-            parts = ", ".join(
-                f"{k}={e.hits}" for k, e in sorted(self._classes.items())
-            )
+        parts = ", ".join(
+            f"{labels[0]}={int(n)}"
+            for labels, n in sorted(self._queries.values().items())
+        )
         return f"RouterStats({parts})"

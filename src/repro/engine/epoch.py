@@ -32,6 +32,7 @@ resurrecting freed state.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Dict, NoReturn, Optional, Union
 
 from repro.core.base import QueryPreservingCompression
@@ -41,6 +42,9 @@ from repro.engine.counters import bump
 from repro.engine.router import ORIGINAL, RepresentationUnavailable
 from repro.faults.deadline import DeadlineExceeded, run_with_deadline
 from repro.faults.plan import fault_point
+from repro.obs.metrics import inc as obs_inc
+from repro.obs.metrics import observe as obs_observe
+from repro.obs.trace import trace_span
 from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
 from repro.queries.matching import MatchContext, match
@@ -264,17 +268,25 @@ class Epoch:
                 thawed=self._thaw() if self.backend == "dict" else None,
             )
 
-        if self.build_deadline_s is None:
-            return build()
-        return run_with_deadline(
-            build, self.build_deadline_s, label=f"epoch {self.version} {key} build"
-        )
+        start = time.perf_counter()
+        with trace_span("epoch.build", representation=key, version=self.version):
+            if self.build_deadline_s is None:
+                artifact = build()
+            else:
+                artifact = run_with_deadline(
+                    build, self.build_deadline_s,
+                    label=f"epoch {self.version} {key} build",
+                )
+        obs_inc("epoch_builds_total", (key,))
+        obs_observe("epoch_build_seconds", time.perf_counter() - start, (key,))
+        return artifact
 
     def _degrade(self, key: str, reason: str) -> NoReturn:
         """Record a failed build and refuse the representation this epoch."""
         self._degraded[key] = reason
         if self._counters is not None:
             bump(self._counters, "degraded_builds")
+        obs_inc("epoch_degraded_total", (key,))
         raise RepresentationUnavailable(key, reason)
 
     def context_for(self, key: str) -> Optional[MatchContext]:

@@ -41,6 +41,7 @@ from repro.core.base import QueryPreservingCompression
 from repro.core.pattern import PatternCompression
 from repro.core.reachability import ReachabilityCompression
 from repro.engine.counters import RouterStats
+from repro.obs.trace import trace_span
 
 #: The escape-hatch target: evaluate on the original graph.
 ORIGINAL = "original"
@@ -145,28 +146,31 @@ class QueryRouter:
             stats = getattr(session, "stats", None)
         key = self.route(query, on, stats=stats)
         start = time.perf_counter() if stats is not None else 0.0
-        if key == ORIGINAL:
-            answer = session.evaluate_original(query, algorithm=algorithm)
-        else:
-            try:
-                artifact = session.artifact(key)
-            except RepresentationUnavailable:
-                # Degradation ladder, last rung: the representation cannot
-                # be built this epoch, so answer directly on G.  Same
-                # answer by the preservation theorem, slower route.
-                if stats is not None:
-                    stats.record_fallback(key)
-                answer = session.evaluate_original(query, algorithm=None)
-                if stats is not None:
-                    stats.record(ORIGINAL, time.perf_counter() - start)
-                return answer
-            # Size-1 batch rather than answer(): element-wise identical by
-            # the answer_batch contract, and it keeps single-query dispatch
-            # on the same amortisation paths as batches (notably the
-            # sealed-context answer memo of epoch serving).
-            answer = artifact.answer_batch(
-                [query], context=session.context_for(key), algorithm=algorithm
-            )[0]
+        with trace_span("engine.dispatch", key=key, queries=1,
+                        version=getattr(session, "version", None)) as span:
+            if key == ORIGINAL:
+                answer = session.evaluate_original(query, algorithm=algorithm)
+            else:
+                try:
+                    artifact = session.artifact(key)
+                except RepresentationUnavailable:
+                    # Degradation ladder, last rung: the representation cannot
+                    # be built this epoch, so answer directly on G.  Same
+                    # answer by the preservation theorem, slower route.
+                    span.set(fallback=True, key=ORIGINAL)
+                    if stats is not None:
+                        stats.record_fallback(key)
+                    answer = session.evaluate_original(query, algorithm=None)
+                    if stats is not None:
+                        stats.record(ORIGINAL, time.perf_counter() - start)
+                    return answer
+                # Size-1 batch rather than answer(): element-wise identical by
+                # the answer_batch contract, and it keeps single-query dispatch
+                # on the same amortisation paths as batches (notably the
+                # sealed-context answer memo of epoch serving).
+                answer = artifact.answer_batch(
+                    [query], context=session.context_for(key), algorithm=algorithm
+                )[0]
         if stats is not None:
             stats.record(key, time.perf_counter() - start)
         return answer
@@ -198,36 +202,40 @@ class QueryRouter:
             routed.append(key)
             groups.setdefault(key, []).append(i)
         answers: List[Any] = [None] * len(routed)
+        version = getattr(session, "version", None)
         for key, positions in groups.items():
             start = time.perf_counter() if stats is not None else 0.0
-            if key == ORIGINAL:
-                for i in positions:
-                    answers[i] = session.evaluate_original(
-                        queries[i], algorithm=algorithm
-                    )
-            else:
-                try:
-                    artifact = session.artifact(key)
-                except RepresentationUnavailable:
-                    # Degrade the whole group to direct-on-G; answers are
-                    # unchanged by the preservation theorem.
-                    if stats is not None:
-                        stats.record_fallback(key, queries=len(positions))
+            with trace_span("engine.dispatch", key=key, queries=len(positions),
+                            version=version) as span:
+                if key == ORIGINAL:
                     for i in positions:
                         answers[i] = session.evaluate_original(
-                            queries[i], algorithm=None
+                            queries[i], algorithm=algorithm
                         )
-                    if stats is not None:
-                        stats.record(ORIGINAL, time.perf_counter() - start,
-                                     queries=len(positions))
-                    continue
-                group_answers = artifact.answer_batch(
-                    [queries[i] for i in positions],
-                    context=session.context_for(key),
-                    algorithm=algorithm,
-                )
-                for i, answer in zip(positions, group_answers):
-                    answers[i] = answer
+                else:
+                    try:
+                        artifact = session.artifact(key)
+                    except RepresentationUnavailable:
+                        # Degrade the whole group to direct-on-G; answers are
+                        # unchanged by the preservation theorem.
+                        span.set(fallback=True, key=ORIGINAL)
+                        if stats is not None:
+                            stats.record_fallback(key, queries=len(positions))
+                        for i in positions:
+                            answers[i] = session.evaluate_original(
+                                queries[i], algorithm=None
+                            )
+                        if stats is not None:
+                            stats.record(ORIGINAL, time.perf_counter() - start,
+                                         queries=len(positions))
+                        continue
+                    group_answers = artifact.answer_batch(
+                        [queries[i] for i in positions],
+                        context=session.context_for(key),
+                        algorithm=algorithm,
+                    )
+                    for i, answer in zip(positions, group_answers):
+                        answers[i] = answer
             if stats is not None:
                 stats.record(key, time.perf_counter() - start,
                              queries=len(positions))

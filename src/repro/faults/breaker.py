@@ -18,6 +18,8 @@ import threading
 import time
 from typing import Any, Callable, Dict
 
+from repro.obs.metrics import inc as obs_inc
+
 #: Breaker states, as reported by :meth:`CircuitBreaker.state`.
 CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
 
@@ -73,6 +75,7 @@ class CircuitBreaker:
                 self._clock() - entry.opened_at >= self.cooldown_s
             ):
                 entry.state = HALF_OPEN
+                obs_inc("breaker_transitions_total", (key, HALF_OPEN))
                 return True  # this caller is the probe
             return False
 
@@ -82,6 +85,7 @@ class CircuitBreaker:
             entry.failures = 0
             if entry.state != CLOSED:
                 entry.state = CLOSED
+                obs_inc("breaker_transitions_total", (key, CLOSED))
 
     def record_failure(self, key: str) -> None:
         with self._lock:
@@ -91,12 +95,14 @@ class CircuitBreaker:
                 entry.state = OPEN
                 entry.opened_at = self._clock()
                 entry.trips += 1
+                obs_inc("breaker_transitions_total", (key, OPEN))
                 return
             entry.failures += 1
             if entry.state == CLOSED and entry.failures >= self.threshold:
                 entry.state = OPEN
                 entry.opened_at = self._clock()
                 entry.trips += 1
+                obs_inc("breaker_transitions_total", (key, OPEN))
 
     # ------------------------------------------------------------------
     def state(self, key: str) -> str:

@@ -33,6 +33,7 @@ from typing import Any, Dict, Hashable, Iterable, List, Optional, Set, Union
 
 from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph, NodeIndexer
+from repro.obs.metrics import inc as obs_inc
 from repro.graph.scc import condensation
 from repro.graph.traversal import bfs_distances, topological_order
 from repro.queries.pattern import STAR, Bound, GraphPattern
@@ -350,6 +351,7 @@ class MatchContext:
                 self._answer_memo = {}
             memo = self._answer_memo
         event: Optional[threading.Event] = None
+        waited = False
         while True:
             with self._cache_lock:
                 entry = memo.get(key)
@@ -360,12 +362,16 @@ class MatchContext:
                     break
                 kind, payload = entry
                 if kind == "done":
+                    obs_inc("match_memo_lookups_total",
+                            ("coalesced" if waited else "hit",))
                     return payload
                 waiter = payload
             # Another thread is computing this key: block on it, then
             # re-read — done (return), vanished after a failure (retry),
             # or genuinely long-running (keep waiting).
+            waited = True
             waiter.wait(timeout=300.0)
+        obs_inc("match_memo_lookups_total", ("miss",))
         try:
             result = compute()
         except BaseException:

@@ -1,6 +1,6 @@
 """``python -m repro.service`` — serving-stack maintenance commands.
 
-Currently one subcommand:
+Two subcommands:
 
 ``chaos``
     Run the seeded chaos harness (:func:`repro.service.epoch_stress
@@ -9,7 +9,16 @@ Currently one subcommand:
     Exit status 0 means the exactness invariant held — every delivered
     answer matched from-scratch evaluation and no unhandled exception
     escaped the service; 1 means it was violated.  The JSON report
-    (``--out``) is the artifact the CI ``chaos-stress`` job uploads.
+    (``--out``) is the artifact the CI ``chaos-stress`` job uploads;
+    ``--trace-out`` additionally dumps every recorded span as JSONL.
+
+``metrics``
+    Drive one stress round with the obs registry and tracer installed,
+    then print the whole registry as Prometheus text exposition on
+    stdout (run summary and slow-query log go to stderr, so stdout
+    stays scrape-clean).  The quickest way to see what the serving
+    stack actually measures — see ``src/repro/obs/README.md`` for the
+    metric catalogue.
 """
 
 from __future__ import annotations
@@ -17,50 +26,61 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 from typing import Any, Dict, List, Optional
 
 from repro.graph.generators import attach_equivalent_leaves, gnm_random_graph
-from repro.service.epoch_stress import run_chaos
+from repro.obs.metrics import MetricsRegistry, installed
+from repro.obs.trace import Tracer, tracing, write_jsonl
+from repro.service.epoch_stress import run_chaos, run_stress
 
 
-def _chaos(args: argparse.Namespace) -> int:
+def _make_graph(args: argparse.Namespace) -> Any:
     graph = gnm_random_graph(
         args.nodes, args.edges, num_labels=4, seed=args.graph_seed
     )
     attach_equivalent_leaves(
         graph, [4, 3], parents_per_group=2, seed=args.graph_seed + 1
     )
+    return graph
+
+
+def _chaos(args: argparse.Namespace) -> int:
+    graph = _make_graph(args)
+    registry = MetricsRegistry()
+    tracer = Tracer()
     reports: List[Dict[str, Any]] = []
     violations = 0
-    for seed in args.seeds:
-        report = run_chaos(
-            graph,
-            mode=args.mode,
-            workers=args.workers,
-            seed=seed,
-            writer_batches=3 if args.quick else 5,
-            queries_per_reader=10 if args.quick else 25,
-        )
-        ok = (
-            report["mismatches"] == 0
-            and not report["unhandled"]
-            and report["delivered"] > 0
-        )
-        report["ok"] = ok
-        if not ok:
-            violations += 1
-        reports.append(report)
-        print(
-            f"chaos seed={seed} mode={args.mode}: "
-            f"delivered={report['delivered']} "
-            f"mismatches={report['mismatches']} "
-            f"failed={sum(report['failed'].values())} "
-            f"unhandled={len(report['unhandled'])} "
-            f"rollbacks={report['rollbacks_observed']} "
-            f"faults_fired={report['faults']['total_fired']} "
-            f"quarantined={len(report['quarantined'])} "
-            f"-> {'OK' if ok else 'VIOLATION'}"
-        )
+    with installed(registry), tracing(tracer):
+        for seed in args.seeds:
+            report = run_chaos(
+                graph,
+                mode=args.mode,
+                workers=args.workers,
+                seed=seed,
+                writer_batches=3 if args.quick else 5,
+                queries_per_reader=10 if args.quick else 25,
+            )
+            ok = (
+                report["mismatches"] == 0
+                and not report["unhandled"]
+                and report["delivered"] > 0
+            )
+            report["ok"] = ok
+            if not ok:
+                violations += 1
+            reports.append(report)
+            print(
+                f"chaos seed={seed} mode={args.mode}: "
+                f"delivered={report['delivered']} "
+                f"mismatches={report['mismatches']} "
+                f"failed={sum(report['failed'].values())} "
+                f"unhandled={len(report['unhandled'])} "
+                f"rollbacks={report['rollbacks_observed']} "
+                f"faults_fired={report['faults']['total_fired']} "
+                f"quarantined={len(report['quarantined'])} "
+                f"-> {'OK' if ok else 'VIOLATION'}"
+            )
     payload = {
         "mode": args.mode,
         "workers": args.workers,
@@ -72,11 +92,53 @@ def _chaos(args: argparse.Namespace) -> int:
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
         print(f"report written to {args.out}")
+    if args.trace_out:
+        n = write_jsonl(tracer.spans(), args.trace_out)
+        print(f"{n} spans written to {args.trace_out}")
     if violations:
         print(f"FAILED: {violations} run(s) violated the exactness invariant",
               file=sys.stderr)
         return 1
     print(f"all {len(reports)} chaos run(s) held the exactness invariant")
+    return 0
+
+
+def _metrics(args: argparse.Namespace) -> int:
+    graph = _make_graph(args)
+    registry = MetricsRegistry()
+    tracer = Tracer(slow_threshold_s=args.slow_ms / 1e3)
+    with installed(registry), tracing(tracer):
+        report = run_stress(
+            graph,
+            readers=args.readers,
+            executor_workers=args.workers,
+            writer_batches=3 if args.quick else 6,
+            queries_per_reader=10 if args.quick else 30,
+            seed=args.seed,
+            catalog_dir=tempfile.mkdtemp(prefix="repro-metrics-"),
+        )
+    sys.stdout.write(registry.render())
+    print(
+        f"stress: queries={report['queries']} "
+        f"mismatches={report['mismatches']} errors={len(report['errors'])} "
+        f"epochs={report['epochs_published']} "
+        f"spans={len(tracer.spans())}",
+        file=sys.stderr,
+    )
+    for entry in tracer.slow_queries(limit=args.slow_limit):
+        print(
+            f"slow trace={entry['trace_id']} {entry['name']} "
+            f"{entry['duration_ms']:.3f}ms attrs={entry['attrs']} "
+            f"spans={len(entry['spans'])}",
+            file=sys.stderr,
+        )
+    if args.trace_out:
+        n = write_jsonl(tracer.spans(), args.trace_out)
+        print(f"{n} spans written to {args.trace_out}", file=sys.stderr)
+    if report["mismatches"] or report["errors"]:
+        print("FAILED: stress run violated the exactness invariant",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -86,6 +148,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="serving-stack maintenance commands",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
     chaos = sub.add_parser("chaos", help="run the seeded chaos harness")
     chaos.add_argument("--seeds", type=int, nargs="+", default=[0],
                        help="fault-plan seeds to run (one round each)")
@@ -97,7 +160,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     chaos.add_argument("--quick", action="store_true",
                        help="smaller workload (CI smoke)")
     chaos.add_argument("--out", help="write the JSON report here")
+    chaos.add_argument("--trace-out",
+                       help="write every recorded span as JSONL here")
     chaos.set_defaults(func=_chaos)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run a stress round and print Prometheus text exposition",
+    )
+    metrics.add_argument("--readers", type=int, default=4)
+    metrics.add_argument("--workers", type=int, default=2,
+                         help="thread-mode executor workers (0 = direct)")
+    metrics.add_argument("--nodes", type=int, default=60)
+    metrics.add_argument("--edges", type=int, default=170)
+    metrics.add_argument("--graph-seed", type=int, default=11)
+    metrics.add_argument("--seed", type=int, default=0,
+                         help="stress schedule seed")
+    metrics.add_argument("--quick", action="store_true",
+                         help="smaller workload (CI smoke)")
+    metrics.add_argument("--slow-ms", type=float, default=5.0,
+                         help="slow-query log threshold (milliseconds)")
+    metrics.add_argument("--slow-limit", type=int, default=10,
+                         help="max slow-query log entries printed")
+    metrics.add_argument("--trace-out",
+                         help="write every recorded span as JSONL here")
+    metrics.set_defaults(func=_metrics)
+
     args = parser.parse_args(argv)
     return int(args.func(args))
 

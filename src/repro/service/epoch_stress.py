@@ -34,6 +34,8 @@ from repro.datasets.patterns import random_pattern
 from repro.datasets.updates import mixed_batch
 from repro.faults.plan import FaultPlan, FaultRule
 from repro.graph.digraph import DiGraph
+from repro.obs.metrics import current_registry
+from repro.obs.trace import current_tracer
 from repro.queries.matching import MatchContext, match
 from repro.queries.reachability import ReachabilityQuery, evaluate_reachability
 from repro.service.errors import ApplyError, ServiceFault
@@ -49,6 +51,26 @@ def freeze_answer(answer: Any) -> Any:
             (repr(u), tuple(sorted(map(repr, vs)))) for u, vs in answer.items()
         ))
     return answer
+
+
+def obs_report() -> Optional[Dict[str, Any]]:
+    """Snapshot of the installed obs registry/tracer, or ``None`` when off.
+
+    Embedded verbatim in stress/chaos reports so a JSON artifact from a
+    CI run carries the same series ``python -m repro.service metrics``
+    would have exposed live, plus the slow-query log keyed by trace id.
+    """
+    registry = current_registry()
+    tracer = current_tracer()
+    if registry is None and tracer is None:
+        return None
+    report: Dict[str, Any] = {}
+    if registry is not None:
+        report["metrics"] = registry.to_state()
+    if tracer is not None:
+        report["slow_queries"] = tracer.slow_queries()
+        report["spans_recorded"] = len(tracer.spans())
+    return report
 
 
 def direct_answer(graph: DiGraph, query: Any,
@@ -102,19 +124,24 @@ def run_stress(
     executor_workers: int = 0,
     max_batch: int = 8,
     writer_pause_s: float = 0.002,
+    catalog_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """One full stress round; see the module docstring for the shape.
 
     ``executor_workers > 0`` routes reader queries through a thread-mode
     :class:`QueryExecutor` of that size (micro-batching in the loop);
-    ``0`` has reader threads call the service directly.  Returns a report
-    dict — ``report["mismatches"] == 0`` and ``report["errors"] == []``
-    are the assertions that matter.
+    ``0`` has reader threads call the service directly.  ``catalog_dir``
+    attaches a :class:`SnapshotCatalog` so the store layer is in play
+    (and in the obs series) too.  Returns a report dict —
+    ``report["mismatches"] == 0`` and ``report["errors"] == []`` are the
+    assertions that matter.
     """
     batches, pool = build_schedule(
         graph, writer_batches=writer_batches, batch_size=batch_size, seed=seed
     )
-    service = EngineService(graph.copy(), backend=backend, journal=True)
+    catalog = SnapshotCatalog(catalog_dir) if catalog_dir is not None else None
+    service = EngineService(graph.copy(), catalog, backend=backend,
+                            journal=True)
     executor = (
         QueryExecutor(service, executor_workers, mode="thread",
                       max_batch=max_batch)
@@ -194,7 +221,9 @@ def run_stress(
 
     draining = len(service.draining())
     service.close()
+    obs = obs_report()
     return {
+        **({"obs": obs} if obs is not None else {}),
         "backend": backend,
         "readers": readers,
         "executor_workers": executor_workers,
@@ -393,7 +422,9 @@ def run_chaos(
         if expected != frozen:
             mismatches += 1
 
+    obs = obs_report()
     report = {
+        **({"obs": obs} if obs is not None else {}),
         "mode": mode,
         "seed": seed,
         "workers": workers,

@@ -44,6 +44,21 @@ from repro.engine.router import ORIGINAL, RepresentationUnavailable
 from repro.faults.breaker import CircuitBreaker
 from repro.faults.deadline import DeadlineExceeded, run_with_deadline
 from repro.faults.plan import FaultError, fault_point
+from repro.obs.metrics import (
+    current_registry,
+    diff_state,
+    inc as obs_inc,
+    metrics_on,
+    observe as obs_observe,
+    set_gauge as obs_set_gauge,
+)
+from repro.obs.trace import (
+    attach,
+    current_context,
+    current_tracer,
+    record_span,
+    tracing_on,
+)
 from repro.queries.pattern import STAR
 from repro.service.errors import (
     QueryTimeout,
@@ -83,7 +98,8 @@ def _resolve(future: "Future[Any]", value: Any = None,
 class _Task:
     """One queued unit: a single query or a caller-built batch."""
 
-    __slots__ = ("queries", "on", "algorithm", "future", "single", "attempts")
+    __slots__ = ("queries", "on", "algorithm", "future", "single", "attempts",
+                 "trace_ctx", "t_enqueue")
 
     def __init__(self, queries: List[Any], on: str, algorithm: Optional[str],
                  future: "Future[Any]", single: bool) -> None:
@@ -93,6 +109,13 @@ class _Task:
         self.future = future
         self.single = single
         self.attempts = 0  # fork mode: worker-death resubmissions so far
+        #: The submitter's ambient trace context — dispatch/queue-wait
+        #: spans recorded by whichever worker runs the task nest under it.
+        self.trace_ctx = current_context()
+        #: Submit timestamp for queue-wait accounting (0.0 when obs off).
+        self.t_enqueue = (
+            time.perf_counter() if (metrics_on() or tracing_on()) else 0.0
+        )
 
 
 class QueryExecutor:
@@ -285,6 +308,7 @@ class QueryExecutor:
             if self._shutdown:
                 raise RuntimeError("executor is shut down")
             self._queue.append(task)
+            obs_set_gauge("executor_queue_depth", len(self._queue))
             self._cv.notify()
 
     def _worker_loop(self) -> None:
@@ -306,6 +330,7 @@ class QueryExecutor:
                            and self._queue[0].algorithm == first.algorithm):
                         tasks.append(self._queue.popleft())
                         budget -= 1
+                obs_set_gauge("executor_queue_depth", len(self._queue))
             try:
                 self._run_tasks(tasks)
             except Exception as exc:  # noqa: BLE001 - worker must survive
@@ -368,15 +393,27 @@ class QueryExecutor:
         queries: List[Any] = []
         for task in group:
             queries.extend(task.queries)
+        # Deeper spans (engine.dispatch, epoch.build) nest under the first
+        # traced submitter; per-task queue-wait/dispatch spans are recorded
+        # retroactively below against each task's own context.
+        trace_parent = next(
+            (t.trace_ctx for t in group if t.trace_ctx is not None), None
+        )
         attempt = 0
         while True:
             attempt += 1
+            t_dispatch = (
+                time.perf_counter() if (metrics_on() or tracing_on()) else 0.0
+            )
             try:
-                version, answers = self._attempt(queries, on, algorithm)
+                version, answers = self._attempt(
+                    queries, on, algorithm, trace_parent
+                )
             except Exception as exc:  # noqa: BLE001 - typed at the boundary
                 for key in keys:
                     self.breaker.record_failure(key)
                 if isinstance(exc, _RETRYABLE) and attempt <= self.retries:
+                    obs_inc("executor_retries_total")
                     time.sleep(self.backoff_s * (2 ** (attempt - 1)))
                     continue
                 self._fail_group(group, exc, attempt)
@@ -384,6 +421,20 @@ class QueryExecutor:
             for key in keys:
                 self.breaker.record_success(key)
             self._note_dispatch(len(group), len(queries))
+            if t_dispatch:
+                t_done = time.perf_counter()
+                obs_observe("executor_dispatch_seconds", t_done - t_dispatch)
+                for task in group:
+                    if task.t_enqueue:
+                        obs_observe("executor_queue_wait_seconds",
+                                    t_dispatch - task.t_enqueue)
+                    if task.trace_ctx is not None:
+                        if task.t_enqueue:
+                            record_span("executor.queue_wait", task.t_enqueue,
+                                        t_dispatch, parent=task.trace_ctx)
+                        record_span("executor.dispatch", t_dispatch, t_done,
+                                    parent=task.trace_ctx, version=version,
+                                    batch=len(queries))
             i = 0
             for task in group:
                 chunk = answers[i:i + len(task.queries)]
@@ -394,24 +445,26 @@ class QueryExecutor:
                 _resolve(task.future, chunk[0] if task.single else chunk)
             return
 
-    def _attempt(self, queries: List[Any], on: str,
-                 algorithm: Optional[str]) -> Tuple[int, List[Any]]:
+    def _attempt(self, queries: List[Any], on: str, algorithm: Optional[str],
+                 trace_parent: Optional[Any] = None) -> Tuple[int, List[Any]]:
         """One pinned dispatch attempt, under the executor's timeout."""
 
         def call() -> Tuple[int, List[Any]]:
             fault_point("executor.dispatch")
-            with self.service.pin() as epoch:
-                answers = self._router.dispatch_batch(
-                    queries, epoch, on=on, algorithm=algorithm,
-                    stats=self.service.stats,
-                )
-                return epoch.version, answers
+            with attach(trace_parent):
+                with self.service.pin() as epoch:
+                    answers = self._router.dispatch_batch(
+                        queries, epoch, on=on, algorithm=algorithm,
+                        stats=self.service.stats,
+                    )
+                    return epoch.version, answers
 
         if self.timeout_s is None:
             return call()
         try:
             return run_with_deadline(call, self.timeout_s, label="dispatch")
         except DeadlineExceeded as exc:
+            obs_inc("executor_timeouts_total")
             raise QueryTimeout(
                 f"micro-batch of {len(queries)} quer"
                 f"{'y' if len(queries) == 1 else 'ies'} exceeded the "
@@ -439,6 +492,7 @@ class QueryExecutor:
             _resolve(task.future, exc=wrapped)
 
     def _note_dispatch(self, tasks: int, queries: int) -> None:
+        obs_observe("executor_batch_queries", queries)
         with self._agg_lock:
             self._agg["tasks"] += tasks
             self._agg["dispatches"] += 1
@@ -548,30 +602,66 @@ class QueryExecutor:
                 ))
 
 
+def _merge_child_obs(delta: Optional[Dict[str, Any]],
+                     spans: List[Dict[str, Any]]) -> None:
+    """Fold a fork child's exit telemetry into the parent's registry/tracer."""
+    if delta:
+        registry = current_registry()
+        if registry is not None:
+            registry.merge_state(delta)
+    if spans:
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.add_spans(spans)
+
+
 def _fork_worker(epoch: Epoch, router: Any, task_q: Any, result_q: Any) -> None:
     """Worker-process main loop (runs in the forked child).
 
     The epoch (snapshot, artifacts, sealed contexts) was inherited through
     fork — copy-on-write, never pickled.  Locks are re-armed first: fork
     copies lock state but not the threads that held them.
+
+    Observability crosses the pipe explicitly (fork telemetry used to die
+    with the child): per-task trace spans ride each result tuple, and at
+    orderly exit the child ships its *since-fork* metrics delta (the
+    registry contents inherited at fork time belong to the parent and
+    must not be folded back twice) as a ``("__obs__", delta, spans)``
+    payload, which the parent's collector merges before the pool joins.
     """
     epoch._reset_locks_after_fork()
+    registry = current_registry()
+    baseline = registry.to_state() if registry is not None else None
+    tracer = current_tracer()
+    if tracer is not None:
+        tracer.clear()  # inherited spans are the parent's, already recorded
     while True:
         item = task_q.get()
         if item is None:
+            if registry is not None or tracer is not None:
+                delta = (
+                    diff_state(registry.to_state(), baseline)
+                    if registry is not None and baseline is not None else None
+                )
+                spans = tracer.drain() if tracer is not None else []
+                result_q.put(("__obs__", delta, spans))
             return
-        task_id, on, algorithm, queries = item
+        task_id, on, algorithm, queries, trace_ctx = item
         try:
             # Fault site for chaos "kill" rules (os._exit in the child):
             # exercises the parent's worker-death monitor and resubmission.
             fault_point("executor.fork.worker")
-            answers = router.dispatch_batch(
-                queries, epoch, on=on, algorithm=algorithm, stats=None
-            )
-            result_q.put((task_id, True, answers, epoch.version))
+            obs_inc("executor_fork_tasks_total")
+            with attach(trace_ctx):
+                answers = router.dispatch_batch(
+                    queries, epoch, on=on, algorithm=algorithm, stats=None
+                )
+            spans = tracer.drain() if tracer is not None else None
+            result_q.put((task_id, True, answers, epoch.version, spans))
         except BaseException as exc:
             result_q.put((task_id, False, f"{type(exc).__name__}: {exc}",
-                          epoch.version))
+                          epoch.version,
+                          tracer.drain() if tracer is not None else None))
 
 
 class _ForkPool:
@@ -648,7 +738,9 @@ class _ForkPool:
             task_id = self._next_id
             self._next_id += 1
             self._pending[task_id] = task
-        self._task_q.put((task_id, task.on, task.algorithm, task.queries))
+        self._task_q.put(
+            (task_id, task.on, task.algorithm, task.queries, task.trace_ctx)
+        )
 
     def _watch_workers(self) -> None:
         """Detect a dead worker and hand recovery to the executor.
@@ -678,7 +770,16 @@ class _ForkPool:
             item = self._result_q.get()
             if item is None:
                 return
-            task_id, ok, payload, version = item
+            if item[0] == "__obs__":
+                # A child's exit payload: its since-fork metrics delta and
+                # any spans not yet shipped with a result.
+                _merge_child_obs(item[1], item[2])
+                continue
+            task_id, ok, payload, version, spans = item
+            if spans:
+                tracer = current_tracer()
+                if tracer is not None:
+                    tracer.add_spans(spans)
             with self._pending_lock:
                 task = self._pending.pop(task_id, None)
             if task is None:

@@ -28,6 +28,7 @@ that against replayed update journals, across backends and hash seeds.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterable, Iterator, List, NoReturn, Optional, Tuple
 
@@ -38,6 +39,9 @@ from repro.engine.session import GraphEngine, GraphSource, UpdateReport
 from repro.engine.updates import EdgeUpdate, UpdateJournal, effective_updates
 from repro.faults.plan import fault_point
 from repro.graph.digraph import DiGraph
+from repro.obs.metrics import inc as obs_inc
+from repro.obs.metrics import observe as obs_observe
+from repro.obs.trace import trace_span
 from repro.service.errors import ApplyError
 
 
@@ -165,9 +169,10 @@ class EngineService:
               algorithm: Optional[str] = None) -> Any:
         """Answer one query on the current epoch (thread-safe)."""
         with self.pin() as epoch:
-            return self._router.dispatch(
-                q, epoch, on=on, algorithm=algorithm, stats=self.stats
-            )
+            with trace_span("service.query", version=epoch.version, queries=1):
+                return self._router.dispatch(
+                    q, epoch, on=on, algorithm=algorithm, stats=self.stats
+                )
 
     def query_versioned(
         self, q: Any, *, on: str = "auto", algorithm: Optional[str] = None
@@ -176,9 +181,10 @@ class EngineService:
         the stress harness correlates answers with the exact graph they
         were computed on."""
         with self.pin() as epoch:
-            answer = self._router.dispatch(
-                q, epoch, on=on, algorithm=algorithm, stats=self.stats
-            )
+            with trace_span("service.query", version=epoch.version, queries=1):
+                answer = self._router.dispatch(
+                    q, epoch, on=on, algorithm=algorithm, stats=self.stats
+                )
             return epoch.version, answer
 
     def query_batch(self, qs: Iterable[Any], *, on: str = "auto",
@@ -186,9 +192,11 @@ class EngineService:
         """Answer a batch on one pinned epoch (micro-batched dispatch)."""
         queries = list(qs)
         with self.pin() as epoch:
-            return self._router.dispatch_batch(
-                queries, epoch, on=on, algorithm=algorithm, stats=self.stats
-            )
+            with trace_span("service.query", version=epoch.version,
+                            queries=len(queries)):
+                return self._router.dispatch_batch(
+                    queries, epoch, on=on, algorithm=algorithm, stats=self.stats
+                )
 
     # ------------------------------------------------------------------
     # Write side (single writer)
@@ -212,6 +220,7 @@ class EngineService:
         with self._writer_lock:
             if self._closed:
                 raise RuntimeError("service is closed")
+            t_publish = time.perf_counter()
             prior = self._current
             new_version = self._version + 1
             try:
@@ -236,6 +245,8 @@ class EngineService:
             if self._journal is not None and effective is not None:
                 self._journal.record(new_version, effective)
             self._publish(new_epoch)
+            obs_observe("service_publish_seconds",
+                        time.perf_counter() - t_publish)
         return report
 
     def refreeze(self) -> Epoch:
@@ -243,6 +254,7 @@ class EngineService:
         with self._writer_lock:
             if self._closed:
                 raise RuntimeError("service is closed")
+            t_publish = time.perf_counter()
             prior = self._current
             try:
                 new_epoch = self._engine.epoch(
@@ -250,7 +262,10 @@ class EngineService:
                 )
             except Exception as exc:  # noqa: BLE001 - transactional boundary
                 self._rollback(prior, exc)
-            return self._publish(new_epoch)
+            published = self._publish(new_epoch)
+            obs_observe("service_publish_seconds",
+                        time.perf_counter() - t_publish)
+            return published
 
     def _rollback(self, prior: Epoch, exc: BaseException) -> NoReturn:
         """Reset the writer to *prior*'s exact graph and raise ApplyError.
@@ -277,6 +292,7 @@ class EngineService:
         )
         self._engine.counters = counters
         bump(counters, "apply_rollbacks")
+        obs_inc("service_rollbacks_total")
         raise ApplyError(
             f"update batch failed before publication "
             f"({type(exc).__name__}: {exc}); rolled back to epoch "
@@ -297,6 +313,7 @@ class EngineService:
             self._draining = [e for e in self._draining if not e.freed]
             self._draining.append(old)
         old.retire()
+        obs_inc("service_publications_total")
         return new_epoch
 
     # ------------------------------------------------------------------

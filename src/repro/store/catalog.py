@@ -40,6 +40,9 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.core.pattern import PatternCompression, compress_pattern_csr
 from repro.faults.plan import fault_data, fault_point
 from repro.core.reachability import ReachabilityCompression, compress_reachability_csr
+from repro.obs.metrics import inc as obs_inc
+from repro.obs.metrics import metrics_on, observe as obs_observe
+from repro.obs.trace import trace_span
 from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
 from repro.store.format import (
@@ -165,6 +168,7 @@ class _DirectoryLock:
         _LIVE_LOCKS.add(self)
 
     def __enter__(self) -> "_DirectoryLock":
+        t_wait = time.perf_counter() if metrics_on() else 0.0
         if not self._tlock.acquire(timeout=self.timeout):
             raise CatalogLockError(
                 f"could not acquire catalog lock {self.path} within "
@@ -194,6 +198,9 @@ class _DirectoryLock:
                 self._token = token
                 if self.heartbeat:
                     self._start_heartbeat()
+                if t_wait:
+                    obs_observe("catalog_lock_wait_seconds",
+                                time.perf_counter() - t_wait)
                 return self
         except BaseException:
             self._depth -= 1
@@ -369,6 +376,7 @@ class SnapshotCatalog:
             except OSError:
                 return
         self._quarantined.append(str(path))
+        obs_inc("catalog_quarantines_total")
 
     def quarantined(self) -> List[str]:
         """Quarantined file names currently on disk (sorted)."""
@@ -451,6 +459,7 @@ class SnapshotCatalog:
             cached = self._graphs.get(digest)
         if cached is not None:
             self._touch(path)
+            obs_inc("catalog_base_loads_total", ("memo",))
             return cached
         if not path.exists():
             raise CatalogError(f"catalog has no entry {digest!r}")
@@ -496,6 +505,7 @@ class SnapshotCatalog:
             # A racing loader may have beaten us here; keep the first
             # instance so every thread shares one graph object.
             winner = self._graphs.setdefault(digest, csr)
+        obs_inc("catalog_base_loads_total", ("disk",))
         return winner
 
     def meta(self, digest: str) -> dict:
@@ -606,16 +616,29 @@ class SnapshotCatalog:
         digest = self._resolve(source)
         csr = self.base(digest)
         path = self._variant_path(digest, "reachability")
-        arrays, writable = self._read_variant(path, digest)
-        if arrays is not None:
-            try:
-                return ReachabilityCompression.from_arrays(csr.node_order(), arrays)
-            except (KeyError, ValueError, IndexError):
-                pass  # malformed arrays from a buggy writer: recompute
-        comp = compress_reachability_csr(csr)
-        if writable:
-            self._write_variant(path, digest, comp.to_arrays(csr.node_order()))
-        return comp
+        with trace_span("catalog.variant", kind="reachability") as span:
+            arrays, writable = self._read_variant(path, digest)
+            if arrays is not None:
+                try:
+                    comp = ReachabilityCompression.from_arrays(
+                        csr.node_order(), arrays
+                    )
+                except (KeyError, ValueError, IndexError):
+                    pass  # malformed arrays from a buggy writer: recompute
+                else:
+                    span.set(result="warm")
+                    obs_inc("catalog_variant_requests_total",
+                            ("reachability", "warm"))
+                    return comp
+            span.set(result="cold")
+            obs_inc("catalog_variant_requests_total", ("reachability", "cold"))
+            t0 = time.perf_counter()
+            comp = compress_reachability_csr(csr)
+            obs_observe("catalog_variant_build_seconds",
+                        time.perf_counter() - t0, ("reachability",))
+            if writable:
+                self._write_variant(path, digest, comp.to_arrays(csr.node_order()))
+            return comp
 
     def bisimulation(self, source: GraphSource) -> PatternCompression:
         """``compressB`` artifact for *source* — cached across sessions.
@@ -626,17 +649,30 @@ class SnapshotCatalog:
         digest = self._resolve(source)
         csr = self.base(digest)
         path = self._variant_path(digest, "bisimulation")
-        arrays, writable = self._read_variant(path, digest)
-        if arrays is not None:
-            labels = [csr.label(i) for i in range(csr.n)]
-            try:
-                return PatternCompression.from_arrays(csr.node_order(), labels, arrays)
-            except (KeyError, ValueError, IndexError):
-                pass  # malformed arrays from a buggy writer: recompute
-        comp = compress_pattern_csr(csr)
-        if writable:
-            self._write_variant(path, digest, comp.to_arrays(csr.node_order()))
-        return comp
+        with trace_span("catalog.variant", kind="bisimulation") as span:
+            arrays, writable = self._read_variant(path, digest)
+            if arrays is not None:
+                labels = [csr.label(i) for i in range(csr.n)]
+                try:
+                    comp = PatternCompression.from_arrays(
+                        csr.node_order(), labels, arrays
+                    )
+                except (KeyError, ValueError, IndexError):
+                    pass  # malformed arrays from a buggy writer: recompute
+                else:
+                    span.set(result="warm")
+                    obs_inc("catalog_variant_requests_total",
+                            ("bisimulation", "warm"))
+                    return comp
+            span.set(result="cold")
+            obs_inc("catalog_variant_requests_total", ("bisimulation", "cold"))
+            t0 = time.perf_counter()
+            comp = compress_pattern_csr(csr)
+            obs_observe("catalog_variant_build_seconds",
+                        time.perf_counter() - t0, ("bisimulation",))
+            if writable:
+                self._write_variant(path, digest, comp.to_arrays(csr.node_order()))
+            return comp
 
     def warm(self, source: GraphSource) -> str:
         """Precompute and persist every variant of *source*; returns digest."""
