@@ -7,7 +7,11 @@ For each default generator graph it measures
   to CSR (what every query session paid before the store existed);
 * **snapshot load** — decode the binary ``.rgs`` snapshot straight into a
   frozen ``CSRGraph``;
-* **on-disk size** — text edge list vs JSON vs binary snapshot.
+* **on-disk size** — text edge list vs JSON vs binary snapshot, and the
+  v2 (gap+reference coded) snapshot's size against v1;
+* **mmap serving** (largest graph only) — :mod:`repro.bench.memprobe`
+  runs the eager and row-lazy readers in fresh subprocesses and reports
+  the peak-RSS ratio and per-row decode latency.
 
 It also proves the catalog's warm-hit contract end to end: compression
 artifacts rehydrated from a fresh catalog handle are byte-identical
@@ -35,8 +39,9 @@ from repro.core.pattern import compress_pattern, quotient_by_partition
 from repro.core.reachability import compress_reachability
 from repro.graph.csr import CSRGraph
 from repro.graph.io import read_edge_list, write_edge_list, write_json
+from repro.bench.memprobe import probe
 from repro.store.catalog import SnapshotCatalog
-from repro.store.format import load_snapshot, save_snapshot
+from repro.store.format import load_snapshot, save_snapshot, save_snapshot_v2
 
 JSON_PATH = "BENCH_store.json"
 
@@ -46,6 +51,14 @@ JSON_PATH = "BENCH_store.json"
 #: wall-clock on shared runners is noise, so CI gates only the semantic
 #: checks below (flagged ``gate: true`` in the JSON payload).
 LOAD_SPEEDUP_TARGET = 5.0
+
+#: v2 acceptance bars on the largest generator graph: the gap+reference
+#: coded snapshot must be at least this much smaller than v1, and the
+#: mmap reader must serve the point-query workload in at most half the
+#: eager reader's peak RSS.  Both are deterministic (sizes and RSS, not
+#: wall-clock) and therefore *are* CI gates.
+V2_SIZE_RATIO_TARGET = 1.2
+MMAP_MEM_RATIO_TARGET = 2.0
 
 
 def run(quick: bool = True) -> ExperimentResult:
@@ -60,14 +73,21 @@ def run(quick: bool = True) -> ExperimentResult:
     with tempfile.TemporaryDirectory(prefix="repro-store-bench-") as tmp:
         root = Path(tmp)
         csr = None  # after the loop: the largest graph's freeze
+        v2_ratios = {}
+        v2_digest_ok = True
         for name, g in graphs:
             csr = CSRGraph.from_digraph(g)
             text_path = root / f"{name}.txt"
             json_path = root / f"{name}.json"
             rgs_path = root / f"{name}.rgs"
+            v2_path = root / f"{name}.v2.rgs"
             write_edge_list(g, text_path)
             write_json(g, json_path)
             save_snapshot(csr, rgs_path)
+            save_snapshot_v2(csr, v2_path)
+            v2_digest_ok = v2_digest_ok and (
+                load_snapshot(v2_path).digest() == csr.digest()
+            )
 
             t_cold = time_call(
                 lambda: CSRGraph.from_digraph(read_edge_list(text_path)),
@@ -81,6 +101,8 @@ def run(quick: bool = True) -> ExperimentResult:
                 json_path.stat().st_size,
                 rgs_path.stat().st_size,
             )
+            v2_size = v2_path.stat().st_size
+            v2_ratios[name] = sizes[name][2] / v2_size if v2_size else 1.0
             rows.append(
                 {
                     "graph": name,
@@ -92,6 +114,8 @@ def run(quick: bool = True) -> ExperimentResult:
                     "text KB": round(sizes[name][0] / 1024, 1),
                     "json KB": round(sizes[name][1] / 1024, 1),
                     "rgs KB": round(sizes[name][2] / 1024, 1),
+                    "v2 KB": round(v2_size / 1024, 1),
+                    "v1/v2 size x": round(v2_ratios[name], 2),
                 }
             )
 
@@ -99,6 +123,13 @@ def run(quick: bool = True) -> ExperimentResult:
         # the largest graph's freeze from the final loop iteration).
         name, g = graphs[-1]
         digest_ok = load_snapshot(root / f"{name}.rgs").digest() == csr.digest()
+
+        # Mmap serving probe on the largest graph: the eager and row-lazy
+        # readers run in fresh subprocesses (save_snapshot_v2 already wrote
+        # the .obl sidecar next to the v2 snapshot).
+        mem = probe(root / f"{name}.v2.rgs")
+        rows[-1]["row µs"] = mem["mmap"]["row_us"]
+        rows[-1]["eager/mmap mem x"] = mem["mem_ratio"]
 
         # Catalog warm-hit identity: a *fresh* catalog handle (a stand-in
         # for a new query session) must rehydrate artifacts byte-identical
@@ -142,6 +173,29 @@ def run(quick: bool = True) -> ExperimentResult:
             True,
         ),
         (
+            "v2 (gapref) snapshot digest matches the saved graph on every graph",
+            v2_digest_ok,
+            True,
+        ),
+        (
+            "mmap reader answers byte-identical to the eager reader "
+            f"on the largest generator graph ({largest})",
+            bool(mem["identical"]),
+            True,
+        ),
+        (
+            f"v2 snapshot >= {V2_SIZE_RATIO_TARGET}x smaller than v1 "
+            f"on the largest generator graph ({largest})",
+            v2_ratios[largest] >= V2_SIZE_RATIO_TARGET,
+            True,
+        ),
+        (
+            f"mmap peak RSS <= 1/{MMAP_MEM_RATIO_TARGET:.0f} of eager "
+            f"on the point-query workload ({largest})",
+            mem["mem_ratio"] >= MMAP_MEM_RATIO_TARGET,
+            True,
+        ),
+        (
             "catalog-rehydrated compressR byte-identical to cold runs on both backends",
             rc_identical,
             True,
@@ -174,7 +228,8 @@ def run(quick: bool = True) -> ExperimentResult:
         title="Snapshot store: load vs cold build, on-disk size, warm-hit identity",
         columns=[
             "graph", "|V|", "|E|", "cold ms", "load ms", "speedup",
-            "text KB", "json KB", "rgs KB",
+            "text KB", "json KB", "rgs KB", "v2 KB", "v1/v2 size x",
+            "row µs", "eager/mmap mem x",
         ],
         rows=rows,
         checks=checks,

@@ -32,7 +32,10 @@ PathLike = Union[str, Path]
 #: which fields are higher-is-better ratios to gate on.
 EXPERIMENT_RATIOS: Dict[str, Dict[str, Tuple[str, ...]]] = {
     "kernels": {"key": ("graph", "task"), "ratios": ("speedup",)},
-    "store": {"key": ("graph",), "ratios": ("speedup",)},
+    "store": {
+        "key": ("graph",),
+        "ratios": ("speedup", "v1/v2 size x", "eager/mmap mem x"),
+    },
     "engine": {"key": ("graph",), "ratios": ("warm/direct x", "batch/one-shot x")},
     "service": {"key": ("graph", "mode", "workers"), "ratios": ("speedup",)},
 }

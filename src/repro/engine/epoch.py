@@ -6,7 +6,11 @@ shape: many reader threads, one writer.  The classic RCU answer is to make
 the readable state *immutable* and swap whole versions atomically — and
 that is exactly what an :class:`Epoch` is:
 
-* the frozen CSR snapshot of ``G`` at one publication point,
+* the frozen snapshot of ``G`` at one publication point — an eagerly
+  decoded :class:`~repro.graph.csr.CSRGraph`, or a row-lazy
+  :class:`~repro.store.mmapgraph.MmapGraph` view pinned straight off the
+  catalog's ``base.rgs`` (publication then costs no whole-file decode and
+  resident memory tracks the rows queries touch),
 * its compressed representations ``Gr`` / ``Gb`` (built lazily, exactly
   once, from the epoch's own snapshot — deterministic and canonical, so
   every thread sees byte-identical artifacts),
@@ -50,6 +54,12 @@ from repro.graph.digraph import DiGraph
 from repro.queries.matching import MatchContext, match
 from repro.queries.pattern import GraphPattern
 from repro.queries.reachability import ReachabilityQuery, evaluate_reachability
+from repro.store.mmapgraph import MmapGraph
+
+#: What an epoch can pin: an eagerly decoded snapshot, or a row-lazy mmap
+#: view whose adjacency decodes on demand (publication cost and resident
+#: memory then track the query working set, not ``|G|``).
+GraphSnapshot = Union[CSRGraph, MmapGraph]
 
 #: representation key -> catalog variant name.
 CATALOG_VARIANTS = {"reachability": "reachability", "pattern": "bisimulation"}
@@ -109,7 +119,7 @@ class Epoch:
 
     def __init__(
         self,
-        csr: CSRGraph,
+        csr: GraphSnapshot,
         version: int = 0,
         *,
         backend: str = "csr",
@@ -260,7 +270,7 @@ class Epoch:
             fault_point(f"epoch.build.{key}")
             return compress_frozen(
                 key,
-                self.csr,
+                self._dense(),
                 self.backend,
                 self._catalog,
                 self._digest,
@@ -313,13 +323,22 @@ class Epoch:
                         self.artifact("pattern").compressed, backend=self.backend
                     )
                 else:
-                    ctx = MatchContext(self.csr)
+                    # Pattern matching on ORIGINAL wants the label indexes a
+                    # sealed context builds over the whole graph anyway, so
+                    # an mmap-backed epoch densifies here (once, shared).
+                    ctx = MatchContext(self._dense())
                 ctx.seal()
                 self._contexts[key] = ctx
         return ctx
 
     def evaluate_original(self, query: Any, algorithm: Optional[str] = None) -> Any:
-        """Direct evaluation on the epoch's frozen ``G``."""
+        """Direct evaluation on the epoch's frozen ``G``.
+
+        Reachability walks ``self.csr`` as-is — on an mmap-backed epoch the
+        BFS touches only the rows it visits, which is the whole point of
+        pinning a view.  Pattern matching goes through the densified
+        snapshot so it shares the ORIGINAL context's graph object.
+        """
         if isinstance(query, ReachabilityQuery):
             return evaluate_reachability(
                 self.csr, query.source, query.target,
@@ -328,20 +347,34 @@ class Epoch:
         if isinstance(query, GraphPattern):
             if algorithm not in (None, "match"):
                 raise ValueError(f"unknown algorithm {algorithm!r}; expected 'match'")
-            return match(query, self.csr, self.context_for(ORIGINAL))
+            return match(query, self._dense(), self.context_for(ORIGINAL))
         raise TypeError(
             f"cannot evaluate {type(query).__name__} on the original graph; "
             "expected a ReachabilityQuery or GraphPattern"
         )
 
     # ------------------------------------------------------------------
+    def _dense(self) -> CSRGraph:
+        """The fully decoded snapshot.
+
+        Eager epochs return their own ``csr``.  An mmap-backed epoch
+        decodes the whole file exactly once (``MmapGraph.to_csr`` memoises
+        and, for v2 bodies, settles the writer-recorded digest claim) —
+        only the paths that genuinely need the entire graph (``Gr``/``Gb``
+        builds, pattern contexts, thaw) call this; reachability serving
+        never does.
+        """
+        if isinstance(self.csr, CSRGraph):
+            return self.csr
+        return self.csr.to_csr()
+
     def _thaw(self) -> DiGraph:
         """Thawed copy for dict-backend builds (shared across both keys).
 
         Callers already hold ``_build_lock``.
         """
         if self._thawed is None:
-            self._thawed = self.csr.to_digraph()
+            self._thawed = self._dense().to_digraph()
         return self._thawed
 
     def _check_serving(self) -> None:
@@ -363,6 +396,9 @@ class Epoch:
         self._pin_lock = threading.Lock()
         for ctx in self._contexts.values():
             ctx._reset_lock_after_fork()
+        reset = getattr(self.csr, "_reset_locks_after_fork", None)
+        if reset is not None:  # mmap views carry row-cache locks; CSR doesn't
+            reset()
 
     def describe(self) -> Dict[str, Any]:
         return {
@@ -370,6 +406,7 @@ class Epoch:
             "nodes": self.csr.n,
             "edges": self.csr.m,
             "backend": self.backend,
+            "mmap": not isinstance(self.csr, CSRGraph),
             "digest": self._digest,
             "materialized": sorted(self._artifacts),
             "degraded": dict(sorted(self._degraded.items())),

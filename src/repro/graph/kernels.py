@@ -704,3 +704,39 @@ def csr_bisimulation_blocks(
     # already emit members in ascending order, so block[0] is the minimum.
     blocks.sort(key=lambda b: b[0])
     return blocks
+
+
+def csr_locality_order(csr: CSRGraph) -> List[int]:
+    """Locality-aware storage order for the v2 snapshot encoding.
+
+    Returns ``order`` with ``order[p]`` = the canonical node id stored at
+    position *p*.  A forward BFS from every unvisited node in ascending id
+    order, with each frontier sorted by ``(label, id)``: neighbours land
+    near their sources (small gaps) and same-label siblings — e.g. the
+    equivalence-class twins the paper's compressions collapse — become
+    *consecutive* rows, which is exactly what the gap+reference row codec
+    rewards.  Pure integer comparisons, so the order is deterministic and
+    independent of ``PYTHONHASHSEED``.
+    """
+    n = csr.n
+    indptr, indices = csr.fwd()
+    labels = csr.label_codes()
+    seen = bytearray(n)
+    order: List[int] = []
+    for root in range(n):
+        if seen[root]:
+            continue
+        seen[root] = 1
+        frontier = [root]
+        while frontier:
+            order.extend(frontier)
+            nxt: List[int] = []
+            append = nxt.append
+            for v in frontier:
+                for w in indices[indptr[v] : indptr[v + 1]]:
+                    if not seen[w]:
+                        seen[w] = 1
+                        append(w)
+            nxt.sort(key=lambda v: (labels[v], v))
+            frontier = nxt
+    return order

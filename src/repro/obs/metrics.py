@@ -250,7 +250,9 @@ class Histogram(_Metric):
 SCHEMA: Dict[str, Tuple[str, str, Labels, Optional[Tuple[float, ...]]]] = {
     # store/catalog
     "catalog_base_loads_total": (
-        "counter", "Base snapshot loads by source (memo|disk).", ("source",), None),
+        "counter",
+        "Base snapshot loads by source (memo|disk|mmap|mmap-memo).",
+        ("source",), None),
     "catalog_variant_requests_total": (
         "counter", "Compressed-variant requests by kind and result (warm|cold).",
         ("kind", "result"), None),
@@ -291,6 +293,11 @@ SCHEMA: Dict[str, Tuple[str, str, Labels, Optional[Tuple[float, ...]]]] = {
         (), LATENCY_BUCKETS),
     "service_rollbacks_total": (
         "counter", "Transactional apply/refreeze rollbacks.", (), None),
+    "service_mmap_fallbacks_total": (
+        "counter", "Publications that fell back from mmap to eager epochs.",
+        (), None),
+    "service_publish_hook_errors_total": (
+        "counter", "Publish hooks that raised (swallowed).", (), None),
     # service executor
     "executor_queue_depth": (
         "gauge", "Queued tasks awaiting a worker (thread mode).", (), None),
@@ -305,6 +312,12 @@ SCHEMA: Dict[str, Tuple[str, str, Labels, Optional[Tuple[float, ...]]]] = {
     "executor_timeouts_total": ("counter", "Dispatch attempts timed out.", (), None),
     "executor_fork_tasks_total": (
         "counter", "Tasks evaluated inside fork workers.", (), None),
+    "executor_preforks_total": (
+        "counter", "Fork pools built ahead of demand (construction/publication).",
+        (), None),
+    "executor_prefork_failures_total": (
+        "counter", "Background pool pre-forks that failed (retried on submit).",
+        (), None),
     # faults
     "breaker_transitions_total": (
         "counter", "Circuit-breaker state transitions.", ("key", "to"), None),

@@ -91,6 +91,8 @@ def evaluate_reachability(
         raise ValueError(
             f"unknown algorithm {algorithm!r}; expected one of {sorted(EVALUATORS)}"
         ) from None
-    if isinstance(graph, CSRGraph):
-        return evaluator(graph, graph.id_of(source), graph.id_of(target))
-    return evaluator(graph, source, target)
+    if isinstance(graph, DiGraph):
+        return evaluator(graph, source, target)
+    # Frozen snapshots (CSRGraph, or the row-lazy MmapGraph which satisfies
+    # the same protocol): translate to dense ids and walk the frozen rows.
+    return evaluator(graph, graph.id_of(source), graph.id_of(target))

@@ -21,8 +21,10 @@ of workers drains the queue.  Two pool modes share one API:
   pre-warms its artifacts and evaluation contexts, then forks: children
   inherit the frozen graph, ``Gr``/``Gb`` and the shared bitset caches
   via copy-on-write — no serialisation of graph state, only queries and
-  answers cross the pipe.  A publication retires the pool: the next
-  submission transparently drains and re-forks against the new epoch.
+  answers cross the pipe.  A publication retires the pool and *pre-forks*
+  its replacement in the background (a service publish hook), so the
+  first query against the new epoch finds warm workers instead of paying
+  the fork; a submission racing the hook builds the pool itself.
 
 Workload statistics flow two ways: per-class hits/latencies land in the
 service's shared :class:`~repro.engine.counters.RouterStats` (feeding the
@@ -220,6 +222,13 @@ class QueryExecutor:
                 t.start()
         else:
             self._pool: Optional[_ForkPool] = None
+            # Pre-fork against the current epoch now, and again after every
+            # publication (in a background thread, so the writer's publish
+            # latency never includes a fork+prewarm): the first query after
+            # a publication finds a warm pool instead of paying the fork.
+            self._prefork_hook = lambda _epoch: self._prefork_async()
+            service.add_publish_hook(self._prefork_hook)
+            self._prefork()
 
     # ------------------------------------------------------------------
     # Public API
@@ -275,6 +284,8 @@ class QueryExecutor:
             if self._shutdown:
                 return
             self._shutdown = True
+        if self.mode == "fork":
+            self.service.remove_publish_hook(self._prefork_hook)
         if self.mode == "thread":
             with self._cv:
                 if not wait:
@@ -503,6 +514,39 @@ class QueryExecutor:
     # ------------------------------------------------------------------
     # Fork mode
     # ------------------------------------------------------------------
+    def _ensure_fork_pool(self) -> Optional["_ForkPool"]:
+        """The live pool for the *current* epoch, (re)forking if needed.
+
+        Returns ``None`` when the executor is shut down.  One lock guards
+        the whole check-replace sequence, so a publish-hook prefork racing
+        a submit builds exactly one pool; a pool for a superseded epoch
+        drains its in-flight tasks before the replacement forks.
+        """
+        with self._lock:
+            if self._shutdown:
+                return None
+            pool = self._pool
+            if pool is None or pool.version != self.service.version or pool.broken:
+                if pool is not None:
+                    self._pool = None  # never re-shutdown on a failed respawn
+                    pool.shutdown(wait=not pool.broken)  # drain superseded epoch
+                pool = _ForkPool(self)
+                self._pool = pool
+            return pool
+
+    def _prefork(self) -> None:
+        """Best-effort pool build; errors resurface on the first submit."""
+        try:
+            if self._ensure_fork_pool() is not None:
+                obs_inc("executor_preforks_total")
+        except Exception:  # noqa: BLE001 - prewarm must not fail the caller
+            obs_inc("executor_prefork_failures_total")
+
+    def _prefork_async(self) -> None:
+        threading.Thread(
+            target=self._prefork, name="repro-exec-prefork", daemon=True
+        ).start()
+
     def _submit_fork(self, task: _Task, resubmit: bool = False) -> None:
         if not resubmit:
             # Circuit breaker, parent side (children cannot share one):
@@ -554,22 +598,15 @@ class QueryExecutor:
                     self.service.stats.record(key, elapsed, queries=count)
 
             task.future.add_done_callback(note)
-        with self._lock:
-            if self._shutdown:
-                if resubmit:
-                    _resolve(task.future, exc=WorkerDied(
-                        "executor shut down while recovering a task from a "
-                        "dead fork worker"
-                    ))
-                    return
-                raise RuntimeError("executor is shut down")
-            pool = self._pool
-            if pool is None or pool.version != self.service.version or pool.broken:
-                if pool is not None:
-                    self._pool = None  # never re-shutdown on a failed respawn
-                    pool.shutdown(wait=not pool.broken)  # drain superseded epoch
-                pool = _ForkPool(self)
-                self._pool = pool
+        pool = self._ensure_fork_pool()
+        if pool is None:
+            if resubmit:
+                _resolve(task.future, exc=WorkerDied(
+                    "executor shut down while recovering a task from a "
+                    "dead fork worker"
+                ))
+                return
+            raise RuntimeError("executor is shut down")
         pool.submit(task, resubmit=resubmit)
 
     def _on_pool_broken(self, pool: "_ForkPool",

@@ -52,17 +52,25 @@ from repro.store.format import (
     SnapshotVersionError,
     _frame,
     atomic_write_bytes,
+    build_sidecar,
     decode_int_sections,
+    decode_sidecar,
     encode_body,
     encode_int_sections,
+    encode_sidecar,
     load_bytes,
     sweep_stale_tmp,
 )
+from repro.store.mmapgraph import MmapGraph
 
 PathLike = Union[str, Path]
 GraphSource = Union[str, DiGraph, CSRGraph]
 
 _BASE_NAME = "base.rgs"
+#: Offsets sidecar stored next to ``base.rgs`` (same content address): the
+#: per-row byte offsets that let :meth:`SnapshotCatalog.base_mmap` open the
+#: snapshot without a whole-file decode pass.
+_SIDECAR_NAME = "base.obl"
 _META_NAME = "meta.json"
 _VARIANT_SUFFIX = ".rpv"
 #: Corrupt files are moved here (never deleted): forensics stay available
@@ -105,6 +113,8 @@ def _rearm_locks_after_fork() -> None:  # pragma: no cover - exercised via fork 
         # is never left half-written under CPython, so a fresh lock is
         # all the child needs.
         catalog._graphs_lock = threading.Lock()
+        for view in list(catalog._mmaps.values()):
+            view._reset_locks_after_fork()
 
 
 if hasattr(os, "register_at_fork"):
@@ -333,6 +343,9 @@ class SnapshotCatalog:
         # Guarded by a lock: executor worker threads share one catalog and
         # warm hits must never observe a half-written dict.
         self._graphs: Dict[str, CSRGraph] = {}
+        #: Row-lazy mmap views, memoised separately from the eager graphs:
+        #: one open file handle per entry, shared by every epoch pinning it.
+        self._mmaps: Dict[str, MmapGraph] = {}
         self._graphs_lock = threading.Lock()
         #: Files moved to quarantine by this handle (process-local log;
         #: the on-disk quarantine directory is the cross-process record).
@@ -484,8 +497,10 @@ class SnapshotCatalog:
             # A corrupt base is provably not the content its digest names;
             # quarantine it so the entry stops advertising itself and a
             # later put() of the graph rewrites the file instead of
-            # skipping it — while the bad bytes stay inspectable.
+            # skipping it — while the bad bytes stay inspectable.  The
+            # sidecar describes the quarantined bytes, so it goes too.
             self._quarantine(path, f"corrupt base for entry {digest}: {exc}")
+            self._drop_sidecar(digest)
             raise CatalogError(
                 f"entry {digest!r} had a corrupt base snapshot ({exc}); "
                 "it has been quarantined — re-put the graph to repair"
@@ -506,6 +521,139 @@ class SnapshotCatalog:
             # instance so every thread shares one graph object.
             winner = self._graphs.setdefault(digest, csr)
         obs_inc("catalog_base_loads_total", ("disk",))
+        return winner
+
+    def _drop_sidecar(self, digest: str) -> None:
+        """Best-effort removal of an entry's offsets sidecar."""
+        try:
+            (self._entry(digest) / _SIDECAR_NAME).unlink(missing_ok=True)
+        except OSError:
+            pass
+
+    def base_mmap(self, digest: str) -> MmapGraph:
+        """A row-lazy ``mmap`` view of the stored base graph behind *digest*.
+
+        The view decodes adjacency rows on demand through the page cache
+        instead of materialising the whole graph, so opening one costs a
+        CRC pass plus the node-table parse — resident memory then scales
+        with the rows queries actually touch.  Views are memoised per
+        process (one open file handle per entry) and shared by every epoch
+        that pins them; they stay open until :meth:`prune` evicts the
+        entry or the process exits.
+
+        The per-row byte offsets come from the ``base.obl`` sidecar next
+        to ``base.rgs``.  A missing sidecar is synthesised from the
+        snapshot (one scan) and persisted for the next open; a corrupt one
+        is quarantined and rebuilt; a newer-format one is ignored in
+        memory without being clobbered.  A sidecar that decodes but does
+        not describe the snapshot (stale copy, wrong entry) is quarantined
+        and the open retried from a fresh scan, so a bad sidecar can never
+        surface as a wrong graph — mirroring the variant self-heal path.
+        """
+        path = self._entry(digest) / _BASE_NAME
+        with self._graphs_lock:
+            cached = self._mmaps.get(digest)
+        if cached is not None:
+            self._touch(path)
+            obs_inc("catalog_base_loads_total", ("mmap-memo",))
+            return cached
+        if not path.exists():
+            raise CatalogError(f"catalog has no entry {digest!r}")
+        self._touch(path)
+        sc_path = self._entry(digest) / _SIDECAR_NAME
+        sidecar = None
+        clobber_ok = True  # may we overwrite base.obl with a rebuilt one?
+        if sc_path.exists():
+            try:
+                fault_point("catalog.sidecar.read")
+                raw = fault_data("catalog.sidecar.bytes", sc_path.read_bytes())
+            except OSError:
+                raw = None  # transient read trouble: rebuild, leave the file
+            if raw is not None:
+                try:
+                    sidecar = decode_sidecar(raw)
+                except SnapshotVersionError:
+                    # Newer writer's sidecar: scan in memory, never clobber.
+                    clobber_ok = False
+                except SnapshotError as exc:
+                    self._quarantine(
+                        sc_path,
+                        f"corrupt offsets sidecar for entry {digest}: {exc}",
+                    )
+        view: Optional[MmapGraph] = None
+        if sidecar is not None:
+            try:
+                view = MmapGraph.open(path, sidecar)
+            except SnapshotVersionError as exc:
+                raise CatalogError(
+                    f"entry {digest!r} was written by a newer format ({exc})"
+                ) from exc
+            except SnapshotError as exc:
+                # The sidecar decoded but does not describe this snapshot
+                # (stale/mis-copied): drop it and retry from a fresh scan
+                # before blaming the base file itself.
+                self._quarantine(
+                    sc_path,
+                    f"offsets sidecar rejected for entry {digest}: {exc}",
+                )
+                view = None
+            if view is not None and view.digest() != digest:
+                view.close()
+                view = None
+                self._quarantine(
+                    sc_path,
+                    f"offsets sidecar names another graph for entry {digest}",
+                )
+        if view is None:
+            try:
+                fault_point("catalog.base.read")
+                data = fault_data("catalog.base.bytes", path.read_bytes())
+            except OSError as exc:
+                raise CatalogError(
+                    f"entry {digest!r} base snapshot is unreadable ({exc})"
+                ) from exc
+            try:
+                rebuilt = build_sidecar(data)
+            except SnapshotVersionError as exc:
+                raise CatalogError(
+                    f"entry {digest!r} was written by a newer format ({exc})"
+                ) from exc
+            except SnapshotError as exc:
+                self._quarantine(path, f"corrupt base for entry {digest}: {exc}")
+                self._drop_sidecar(digest)
+                raise CatalogError(
+                    f"entry {digest!r} had a corrupt base snapshot ({exc}); "
+                    "it has been quarantined — re-put the graph to repair"
+                ) from exc
+            if rebuilt.digest != digest:
+                # Valid snapshot, wrong entry: real content, leave it alone
+                # (same contract as the eager loader above).
+                raise CatalogError(
+                    f"entry {digest!r} holds a snapshot whose content digest "
+                    f"is {rebuilt.digest!r} (renamed or mis-copied entry?)"
+                )
+            if clobber_ok:
+                try:
+                    with self._lock:
+                        atomic_write_bytes(sc_path, encode_sidecar(rebuilt))
+                except (CatalogLockError, OSError):
+                    pass  # busy or unwritable catalog: serve without caching
+            try:
+                view = MmapGraph.open(path, rebuilt)
+            except SnapshotError as exc:
+                # The file validated moments ago; failing now means it
+                # changed underneath us — treat as corrupt.
+                self._quarantine(path, f"corrupt base for entry {digest}: {exc}")
+                self._drop_sidecar(digest)
+                raise CatalogError(
+                    f"entry {digest!r} base snapshot changed while opening "
+                    f"({exc}); it has been quarantined"
+                ) from exc
+        with self._graphs_lock:
+            winner = self._mmaps.setdefault(digest, view)
+        if winner is not view:
+            view.close()  # racing opener won; keep one handle per entry
+        obs_inc("catalog_base_loads_total", ("mmap",))
         return winner
 
     def meta(self, digest: str) -> dict:
@@ -693,7 +841,12 @@ class SnapshotCatalog:
             pass
 
     def _entry_bytes(self, digest: str) -> int:
-        """Total on-disk bytes of one entry (base + meta + variants)."""
+        """Total on-disk bytes of one entry (base + sidecar + meta + variants).
+
+        The walk covers every file under the entry directory, so the
+        ``base.obl`` offsets sidecar counts toward ``max_bytes`` eviction
+        the same as the snapshot it describes.
+        """
         total = 0
         for dirpath, _dirnames, filenames in os.walk(self._entry(digest)):
             for name in filenames:
@@ -752,14 +905,23 @@ class SnapshotCatalog:
                     break
                 size = sizes.get(digest, 0)
                 # Remove the existence marker first so a concurrent reader
-                # fails cleanly rather than decoding a half-removed entry.
+                # fails cleanly rather than decoding a half-removed entry;
+                # the sidecar goes with it so a partially failed rmtree can
+                # never leave an orphaned .obl leaking disk (or, worse, a
+                # stale sidecar for a digest a later put() re-creates).
                 try:
                     (self._entry(digest) / _BASE_NAME).unlink()
                 except OSError:
                     pass
+                self._drop_sidecar(digest)
                 shutil.rmtree(self._entry(digest), ignore_errors=True)
                 with self._graphs_lock:
                     self._graphs.pop(digest, None)
+                    # Drop the memoised mmap view but do NOT close it: an
+                    # epoch still pinning the view keeps serving (the unlink
+                    # leaves the mapping valid), and the handle closes when
+                    # the last pin is garbage-collected.
+                    self._mmaps.pop(digest, None)
                 evicted.append(digest)
                 count -= 1
                 total -= size

@@ -22,6 +22,23 @@ Everything in the body is canonical (node insertion order, sorted rows,
 first-appearance label codes), so the body bytes double as the graph's
 content identity: :func:`graph_digest` is SHA-256 over them, and the
 catalog keys its directory layout by that digest.
+
+Version 2 of the *encoding* (same container version, new feature flags)
+adds three independently optional layers on top — see ``FORMAT.md`` for
+the byte-level rules:
+
+* ``FLAG_GAPREF`` — WebGraph/Zuckerli-style reference rows: a row may
+  copy runs of a nearby earlier row and store only the residual targets;
+* ``FLAG_PERMUTED`` — the adjacency sections are stored in a
+  locality-aware node order (the permutation is stored, so decoding
+  always reconstructs the canonical graph and the content digest is
+  unchanged);
+* an offsets *sidecar* (``.obl``) recording the byte offset of every
+  adjacency row, so :class:`~repro.store.mmapgraph.MmapGraph` can decode
+  single rows on demand through ``mmap`` instead of one whole-file pass.
+
+The content digest is always SHA-256 over the *canonical v1 body* — a
+graph has one identity no matter which encoding flags produced the file.
 """
 
 from __future__ import annotations
@@ -32,7 +49,7 @@ import struct
 import tempfile
 import zlib
 from pathlib import Path
-from typing import Dict, Hashable, List, Tuple, Union
+from typing import Dict, Hashable, List, NamedTuple, Optional, Sequence, Tuple, Union
 
 from repro.faults.plan import fault_data, fault_point
 from repro.graph.csr import CSRBuffers, CSRGraph, reverse_from_forward
@@ -53,6 +70,29 @@ HEADER_SIZE = _HEADER.size
 #: when a future writer omits it.
 FLAG_REVERSE = 0x0001
 
+#: Flag bit: the compact v2 body codec — adjacency rows use gap+reference
+#: coding (a row may copy runs of a nearby earlier row and store only the
+#: residual targets) and consecutive string node ids are front-coded
+#: (shared-prefix length + suffix).
+FLAG_GAPREF = 0x0002
+
+#: Flag bit: the adjacency sections are stored in a locality-aware node
+#: order; a permutation section (storage position -> canonical id) follows
+#: the node table so decoding reconstructs the canonical graph exactly.
+FLAG_PERMUTED = 0x0004
+
+#: Every feature flag this reader understands on a snapshot file.  Files
+#: with any other bit set are rejected as from-the-future.
+SNAPSHOT_FLAGS = FLAG_REVERSE | FLAG_GAPREF | FLAG_PERMUTED
+
+#: How far back a reference row may point.  Small keeps the encoder's
+#: candidate search linear and the mmap reader's chain walk short.
+REF_WINDOW = 16
+
+#: Maximum reference-chain depth.  Enforced at encode *and* decode time so
+#: a crafted file cannot make per-row decoding quadratic (or recursive).
+MAX_REF_CHAIN = 32
+
 # Node-id table tags.
 _TAG_INT = 0
 _TAG_STR = 1
@@ -66,6 +106,9 @@ MAX_NODE_DEPTH = 32
 
 # Section container (catalog variant files) magic.
 _SECTIONS_MAGIC = b"RPGV"
+
+# Offsets sidecar (``.obl``) magic — same framing discipline, its own kind.
+OFFSETS_MAGIC = b"RPGO"
 
 
 class SnapshotError(Exception):
@@ -174,7 +217,10 @@ def _read_node(data: bytes, pos: int, depth: int = 0) -> Tuple[Node, int]:
         end = pos + length
         if end > len(data):
             raise SnapshotFormatError("truncated node table")
-        return data[pos:end].decode("utf-8"), end
+        try:
+            return data[pos:end].decode("utf-8"), end
+        except UnicodeDecodeError as exc:
+            raise SnapshotFormatError(f"malformed node string: {exc}") from None
     if tag == _TAG_TUPLE:
         length, pos = _read_uvarint(data, pos)
         items = []
@@ -299,6 +345,262 @@ def _read_adjacency(
     return indptr, indices, pos
 
 
+# ----------------------------------------------------------------------
+# v2 row codec (gap + reference coding)
+# ----------------------------------------------------------------------
+#
+# Per row under FLAG_GAPREF (all varints):
+#
+#   head = degree * 2 + has_ref        -- zero overhead vs v1 for deg <= 63
+#   if degree == 0: the row is done (head == 1 is malformed)
+#   if has_ref == 0: absolute first target, then ``gap - 1`` each
+#   if has_ref == 1:
+#     r - 1                            -- reference = the row r slots back
+#     nblocks, then nblocks block lengths: alternating copy/skip runs over
+#       the referenced row, starting and ending with a copy run (nblocks is
+#       odd; the first run may be empty, later runs may not)
+#     residual targets (count = degree - copied, derived not stored):
+#       absolute first, then ``gap - 1`` each
+#
+# The decoded row is the sorted disjoint merge of the copied and residual
+# targets; any overlap, misorder or out-of-range target is a format error.
+
+
+def _read_row_targets(
+    data: Union[bytes, "Sequence[int]"], pos: int, count: int, n: int
+) -> Tuple[List[int], int]:
+    """Read *count* targets (absolute first, then ``gap - 1`` each)."""
+    row: List[int] = []
+    if not count:
+        return row, pos
+    append = row.append
+    prev, pos = _read_uvarint(data, pos)
+    append(prev)
+    for _ in range(count - 1):
+        gap, pos = _read_uvarint(data, pos)
+        prev += gap + 1
+        append(prev)
+    if prev >= n:
+        raise SnapshotFormatError("adjacency target out of range")
+    return row, pos
+
+
+def _read_row_plain(
+    data: Union[bytes, "Sequence[int]"], pos: int, n: int
+) -> Tuple[List[int], int]:
+    """Decode one v1-codec row (degree + targets) at *pos*."""
+    deg, pos = _read_uvarint(data, pos)
+    if deg > n:
+        raise SnapshotFormatError("row degree out of range")
+    return _read_row_targets(data, pos, deg, n)
+
+
+def _read_row_frame(
+    data: Union[bytes, "Sequence[int]"], pos: int, n: int
+) -> Tuple[int, int, Optional[List[int]], List[int], int]:
+    """Decode one v2 row *frame* without resolving its reference.
+
+    Returns ``(degree, ref, blocks, residuals, next_pos)``; ``ref`` is 0
+    for a plain row (then *residuals* is the complete row and *blocks* is
+    ``None``), else the back-distance to the referenced row.  Shared by the
+    eager decoder and :class:`~repro.store.mmapgraph.MmapGraph` so the two
+    paths cannot disagree on what a row means.
+    """
+    head, pos = _read_uvarint(data, pos)
+    deg = head >> 1
+    if deg > n:
+        raise SnapshotFormatError("row degree out of range")
+    if not head & 1:
+        row, pos = _read_row_targets(data, pos, deg, n)
+        return deg, 0, None, row, pos
+    if deg == 0:
+        raise SnapshotFormatError("zero-degree row cannot reference")
+    rm1, pos = _read_uvarint(data, pos)
+    nblocks, pos = _read_uvarint(data, pos)
+    if nblocks == 0 or nblocks % 2 == 0 or nblocks > 2 * deg + 1:
+        raise SnapshotFormatError("malformed copy-block list")
+    blocks: List[int] = []
+    for bi in range(nblocks):
+        b, pos = _read_uvarint(data, pos)
+        if b == 0 and bi > 0:
+            raise SnapshotFormatError("empty interior copy/skip block")
+        blocks.append(b)
+    copied = sum(blocks[0::2])
+    if copied == 0:
+        raise SnapshotFormatError("reference row copies nothing")
+    if copied > deg:
+        raise SnapshotFormatError("copy blocks exceed the row degree")
+    residuals, pos = _read_row_targets(data, pos, deg - copied, n)
+    return deg, rm1 + 1, blocks, residuals, pos
+
+
+def _apply_reference(
+    blocks: List[int], residuals: List[int], ref_row: List[int]
+) -> List[int]:
+    """Materialise a reference row: copy runs of *ref_row*, merge residuals."""
+    if sum(blocks) > len(ref_row):
+        raise SnapshotFormatError("copy blocks overrun the referenced row")
+    copied: List[int] = []
+    idx = 0
+    is_copy = True
+    for b in blocks:
+        if is_copy:
+            copied.extend(ref_row[idx : idx + b])
+        idx += b
+        is_copy = not is_copy
+    row: List[int] = []
+    i = j = 0
+    la, lb = len(copied), len(residuals)
+    while i < la and j < lb:
+        a, c = copied[i], residuals[j]
+        if a == c:
+            raise SnapshotFormatError("residual duplicates a copied target")
+        if a < c:
+            row.append(a)
+            i += 1
+        else:
+            row.append(c)
+            j += 1
+    row.extend(copied[i:])
+    row.extend(residuals[j:])
+    return row
+
+
+def _read_adjacency_v2(
+    data: bytes, pos: int, n: int, m: int
+) -> Tuple[List[int], List[int], int]:
+    """Decode one gap+reference adjacency direction (eager path)."""
+    rows: List[List[int]] = []
+    chain = [0] * n
+    total = 0
+    for p in range(n):
+        deg, r, blocks, residuals, pos = _read_row_frame(data, pos, n)
+        if r:
+            if r > p:
+                raise SnapshotFormatError("reference points before the section")
+            depth = chain[p - r] + 1
+            if depth > MAX_REF_CHAIN:
+                raise SnapshotFormatError(
+                    f"reference chain deeper than {MAX_REF_CHAIN}"
+                )
+            chain[p] = depth
+            assert blocks is not None
+            row = _apply_reference(blocks, residuals, rows[p - r])
+        else:
+            row = residuals
+        total += deg
+        if total > m:
+            raise SnapshotFormatError(
+                f"adjacency edge count mismatch: header says {m}, section has more"
+            )
+        rows.append(row)
+    if total != m:
+        raise SnapshotFormatError(
+            f"adjacency edge count mismatch: header says {m}, section has {total}"
+        )
+    indptr = [0] * (n + 1)
+    indices: List[int] = []
+    for p, row in enumerate(rows):
+        indices.extend(row)
+        indptr[p + 1] = len(indices)
+    return indptr, indices, pos
+
+
+def _write_adjacency_rows(
+    out: bytearray, rows: List[List[int]], offsets: List[int]
+) -> None:
+    """v1 row codec over explicit row lists, recording each row's offset."""
+    write = _write_uvarint
+    for row in rows:
+        offsets.append(len(out))
+        write(out, len(row))
+        prev = -1
+        for j in row:
+            write(out, j if prev < 0 else j - prev - 1)
+            prev = j
+
+
+def _encode_plain_row(row: List[int], has_ref_bit: bool) -> bytearray:
+    out = bytearray()
+    _write_uvarint(out, len(row) * 2 if has_ref_bit else len(row))
+    prev = -1
+    for j in row:
+        _write_uvarint(out, j if prev < 0 else j - prev - 1)
+        prev = j
+    return out
+
+
+def _encode_ref_row(
+    row: List[int], rowset: "set[int]", ref_row: List[int], r: int
+) -> Optional[bytes]:
+    """Encode *row* against *ref_row* (``r`` slots back); ``None`` if futile."""
+    last = -1
+    for idx in range(len(ref_row) - 1, -1, -1):
+        if ref_row[idx] in rowset:
+            last = idx
+            break
+    if last < 0:
+        return None
+    blocks: List[int] = []
+    copied: "set[int]" = set()
+    run = 0
+    is_copy = True
+    for idx in range(last + 1):
+        in_row = ref_row[idx] in rowset
+        if in_row == is_copy:
+            run += 1
+        else:
+            blocks.append(run)
+            run = 1
+            is_copy = in_row
+        if in_row:
+            copied.add(ref_row[idx])
+    blocks.append(run)
+    out = bytearray()
+    _write_uvarint(out, len(row) * 2 + 1)
+    _write_uvarint(out, r - 1)
+    _write_uvarint(out, len(blocks))
+    for b in blocks:
+        _write_uvarint(out, b)
+    prev = -1
+    for j in row:
+        if j in copied:
+            continue
+        _write_uvarint(out, j if prev < 0 else j - prev - 1)
+        prev = j
+    return bytes(out)
+
+
+def _write_adjacency_v2(
+    out: bytearray, rows: List[List[int]], offsets: List[int]
+) -> None:
+    """Gap+reference encode one direction, recording each row's offset.
+
+    For every non-empty row the encoder tries each candidate reference in
+    the window (closest first) and keeps the strictly smallest encoding —
+    plain wins ties, so the format never pays for a useless reference.
+    Candidate order and the tie rule are fixed, which keeps the bytes
+    deterministic across interpreters and hash seeds.
+    """
+    chain = [0] * len(rows)
+    for p, row in enumerate(rows):
+        offsets.append(len(out))
+        best = _encode_plain_row(row, True)
+        best_r = 0
+        if row:
+            rowset = set(row)
+            for r in range(1, min(REF_WINDOW, p) + 1):
+                if chain[p - r] + 1 > MAX_REF_CHAIN:
+                    continue
+                cand = _encode_ref_row(row, rowset, rows[p - r], r)
+                if cand is not None and len(cand) < len(best):
+                    best = bytearray(cand)
+                    best_r = r
+        if best_r:
+            chain[p] = chain[p - best_r] + 1
+        out += best
+
+
 def encode_body(csr: CSRGraph) -> bytes:
     """The canonical body bytes of *csr* (header not included)."""
     try:
@@ -339,10 +641,29 @@ def decode_body(body: bytes, flags: int = FLAG_REVERSE) -> CSRGraph:
         raise SnapshotFormatError(f"malformed string in snapshot body: {exc}") from exc
 
 
-def _decode_body(body: bytes, flags: int) -> CSRGraph:
+def _read_prefix(
+    body: bytes, flags: int, total_len: Optional[int] = None
+) -> Tuple[int, int, List[str], List[int], List[Node], Optional[List[int]], int]:
+    """Parse everything before the adjacency sections.
+
+    Returns ``(n, m, label_names, label_codes, nodes, order, pos)`` where
+    *order* is the storage permutation (storage position -> canonical id)
+    or ``None`` for canonically-ordered files.  Shared by the eager
+    decoder, the sidecar offset scanner and the mmap reader so the
+    validation discipline cannot drift between them.  *total_len* is the
+    full body length when *body* is only the prefix slice (the mmap reader
+    avoids copying the adjacency sections out of the map).
+    """
     pos = 0
     n, pos = _read_uvarint(body, pos)
     m, pos = _read_uvarint(body, pos)
+    # Sanity floor before any O(n) / O(m) allocation: every node costs at
+    # least one label-code byte and every edge at least one gap byte, so a
+    # crafted header cannot demand allocations the body could never fill.
+    if total_len is None:
+        total_len = len(body)
+    if n > total_len or m > total_len:
+        raise SnapshotFormatError("node/edge count exceeds what the body could hold")
     nlabels, pos = _read_uvarint(body, pos)
     label_names: List[str] = []
     for _ in range(nlabels):
@@ -371,6 +692,8 @@ def _decode_body(body: bytes, flags: int) -> CSRGraph:
         raise SnapshotFormatError("truncated label codes") from None
     nodes: List[Node] = []
     node_append = nodes.append
+    front = bool(flags & FLAG_GAPREF)
+    prev_raw = b""
     try:
         for _ in range(n):
             tag = body[pos]
@@ -383,23 +706,79 @@ def _decode_body(body: bytes, flags: int) -> CSRGraph:
                     value, pos = _read_uvarint(body, pos - 1)
                 node_append(value // 2 if value % 2 == 0 else -(value + 1) // 2)
             elif tag == _TAG_STR:
-                length = body[pos + 1]
-                pos += 2
-                if length >= 0x80:
-                    length, pos = _read_uvarint(body, pos - 1)
-                end = pos + length
-                if end > len(body):
-                    raise SnapshotFormatError("truncated node table")
-                node_append(body[pos:end].decode("utf-8"))
-                pos = end
+                if front:
+                    # Front-coded: shared-prefix length with the previous
+                    # string id, then the suffix bytes.
+                    lcp, pos = _read_uvarint(body, pos + 1)
+                    length, pos = _read_uvarint(body, pos)
+                    if lcp > len(prev_raw):
+                        raise SnapshotFormatError(
+                            "front-coded node id shares more than the previous id"
+                        )
+                    end = pos + length
+                    if end > len(body):
+                        raise SnapshotFormatError("truncated node table")
+                    prev_raw = prev_raw[:lcp] + body[pos:end]
+                    node_append(prev_raw.decode("utf-8"))
+                    pos = end
+                else:
+                    length = body[pos + 1]
+                    pos += 2
+                    if length >= 0x80:
+                        length, pos = _read_uvarint(body, pos - 1)
+                    end = pos + length
+                    if end > len(body):
+                        raise SnapshotFormatError("truncated node table")
+                    node_append(body[pos:end].decode("utf-8"))
+                    pos = end
             else:
                 node, pos = _read_node(body, pos)
                 node_append(node)
     except IndexError:
         raise SnapshotFormatError("truncated node table") from None
-    indptr, indices, pos = _read_adjacency(body, pos, n, m)
+    order: Optional[List[int]] = None
+    if flags & FLAG_PERMUTED:
+        order = [0] * n
+        seen = bytearray(n)
+        for p in range(n):
+            i, pos = _read_uvarint(body, pos)
+            if i >= n or seen[i]:
+                raise SnapshotFormatError("storage order is not a permutation")
+            seen[i] = 1
+            order[p] = i
+    return n, m, label_names, label_codes, nodes, order, pos
+
+
+def _unpermute(
+    n: int, indptr: List[int], indices: List[int], order: List[int]
+) -> Tuple[List[int], List[int]]:
+    """Map one storage-ordered adjacency direction back to canonical ids."""
+    pos_of = [0] * n
+    for p, i in enumerate(order):
+        pos_of[i] = p
+    new_indptr = [0] * (n + 1)
+    new_indices: List[int] = [0] * len(indices)
+    k = 0
+    for i in range(n):
+        p = pos_of[i]
+        row = sorted(order[t] for t in indices[indptr[p] : indptr[p + 1]])
+        new_indices[k : k + len(row)] = row
+        k += len(row)
+        new_indptr[i + 1] = k
+    return new_indptr, new_indices
+
+
+def _decode_body(body: bytes, flags: int) -> CSRGraph:
+    n, m, label_names, label_codes, nodes, order, pos = _read_prefix(body, flags)
+    if flags & FLAG_GAPREF:
+        indptr, indices, pos = _read_adjacency_v2(body, pos, n, m)
+    else:
+        indptr, indices, pos = _read_adjacency(body, pos, n, m)
     if flags & FLAG_REVERSE:
-        rindptr, rindices, pos = _read_adjacency(body, pos, n, m)
+        if flags & FLAG_GAPREF:
+            rindptr, rindices, pos = _read_adjacency_v2(body, pos, n, m)
+        else:
+            rindptr, rindices, pos = _read_adjacency(body, pos, n, m)
         # Cross-check the two directions: every node's stored in-degree must
         # equal its in-degree counted from the forward section.  One O(m)
         # pass catches accidental writer bugs whose reverse section
@@ -421,6 +800,12 @@ def _decode_body(body: bytes, flags: int) -> CSRGraph:
         rindptr, rindices = reverse_from_forward(n, indptr, indices)
     if pos != len(body):
         raise SnapshotFormatError(f"{len(body) - pos} trailing bytes after body")
+    if order is not None:
+        # The sections above are in storage order with storage-id targets;
+        # map both directions back so the returned graph (and therefore its
+        # digest) is canonical regardless of the stored order.
+        indptr, indices = _unpermute(n, indptr, indices, order)
+        rindptr, rindices = _unpermute(n, rindptr, rindices, order)
     try:
         return CSRGraph.from_buffers(
             CSRBuffers(
@@ -450,6 +835,311 @@ def digest_and_body(csr: CSRGraph) -> Tuple[str, bytes]:
     """``(digest, body)`` in one encode, for callers that need both."""
     body = encode_body(csr)
     return hashlib.sha256(body).hexdigest(), body
+
+
+# ----------------------------------------------------------------------
+# v2 body encoder + offsets sidecar
+# ----------------------------------------------------------------------
+class EncodedBody(NamedTuple):
+    """Result of :func:`encode_body_v2`: bytes plus row-offset tables."""
+
+    body: bytes
+    flags: int
+    #: Byte offset (into the body) of each forward / reverse adjacency row.
+    fwd_offsets: List[int]
+    rev_offsets: List[int]
+
+
+def encode_body_v2(
+    csr: CSRGraph,
+    *,
+    gapref: bool = True,
+    order: Optional[Sequence[int]] = None,
+) -> EncodedBody:
+    """Encode *csr* with the optional v2 layers and per-row offsets.
+
+    With ``gapref=False`` and ``order=None`` (or the identity) the body is
+    byte-identical to :func:`encode_body` — the v2 layers are strictly
+    additive.  *order* maps storage position to canonical node id; the
+    permutation is stored in the body so decoding is always canonical.
+    """
+    try:
+        return _encode_body_v2(csr, gapref, order)
+    except UnicodeEncodeError as exc:
+        raise UnsupportedNodeError(f"node id or label is not encodable: {exc}") from exc
+
+
+def _encode_body_v2(
+    csr: CSRGraph, gapref: bool, order: Optional[Sequence[int]]
+) -> EncodedBody:
+    buf = csr.buffers()
+    n = buf.n
+    order_list: Optional[List[int]] = None
+    if order is not None:
+        order_list = list(order)
+        if len(order_list) != n or sorted(order_list) != list(range(n)):
+            raise ValueError("order is not a permutation of range(n)")
+        if order_list == list(range(n)):
+            order_list = None  # identity adds bytes but no information
+    flags = FLAG_REVERSE
+    out = bytearray()
+    _write_uvarint(out, n)
+    _write_uvarint(out, buf.m)
+    _write_uvarint(out, len(buf.label_names))
+    for name in buf.label_names:
+        raw = name.encode("utf-8")
+        _write_uvarint(out, len(raw))
+        out += raw
+    for code in buf.label_codes:
+        _write_uvarint(out, code)
+    if gapref:
+        # Front-code consecutive string node ids (tuple-nested strings keep
+        # the plain encoding — only top-level strings join the chain).
+        prev_raw = b""
+        for node in buf.nodes:
+            if type(node) is str:
+                raw = node.encode("utf-8")
+                lcp = 0
+                maxl = min(len(raw), len(prev_raw))
+                while lcp < maxl and raw[lcp] == prev_raw[lcp]:
+                    lcp += 1
+                out.append(_TAG_STR)
+                _write_uvarint(out, lcp)
+                _write_uvarint(out, len(raw) - lcp)
+                out += raw[lcp:]
+                prev_raw = raw
+            else:
+                _write_node(out, node)
+    else:
+        for node in buf.nodes:
+            _write_node(out, node)
+    if order_list is not None:
+        flags |= FLAG_PERMUTED
+        for i in order_list:
+            _write_uvarint(out, i)
+    if order_list is None:
+        fwd_rows = [
+            list(buf.indices[buf.indptr[p] : buf.indptr[p + 1]]) for p in range(n)
+        ]
+        rev_rows = [
+            list(buf.rindices[buf.rindptr[p] : buf.rindptr[p + 1]]) for p in range(n)
+        ]
+    else:
+        pos_of = [0] * n
+        for p, i in enumerate(order_list):
+            pos_of[i] = p
+        fwd_rows = []
+        rev_rows = []
+        for p in range(n):
+            i = order_list[p]
+            fwd_rows.append(
+                sorted(pos_of[j] for j in buf.indices[buf.indptr[i] : buf.indptr[i + 1]])
+            )
+            rev_rows.append(
+                sorted(
+                    pos_of[j] for j in buf.rindices[buf.rindptr[i] : buf.rindptr[i + 1]]
+                )
+            )
+    fwd_offsets: List[int] = []
+    rev_offsets: List[int] = []
+    if gapref:
+        flags |= FLAG_GAPREF
+        _write_adjacency_v2(out, fwd_rows, fwd_offsets)
+        _write_adjacency_v2(out, rev_rows, rev_offsets)
+    else:
+        _write_adjacency_rows(out, fwd_rows, fwd_offsets)
+        _write_adjacency_rows(out, rev_rows, rev_offsets)
+    return EncodedBody(bytes(out), flags, fwd_offsets, rev_offsets)
+
+
+class SnapshotSidecar(NamedTuple):
+    """Decoded ``.obl`` offsets sidecar.
+
+    Binds itself to one exact ``.rgs`` file through the body CRC/length
+    and carries the canonical content digest so the mmap reader can serve
+    identity without re-encoding a permuted or reference-coded body.
+    """
+
+    crc: int
+    body_len: int
+    flags: int
+    n: int
+    m: int
+    #: Byte offsets (into the body) of each adjacency row, per direction.
+    fwd: List[int]
+    rev: List[int]
+    digest: str
+
+
+def sidecar_path(path: PathLike) -> Path:
+    """The conventional ``.obl`` sidecar path next to a snapshot file."""
+    return Path(path).with_suffix(".obl")
+
+
+def encode_sidecar(sidecar: SnapshotSidecar) -> bytes:
+    """Serialise an offsets sidecar (CRC-framed, ``RPGO`` magic)."""
+    sections = {
+        "meta": [
+            sidecar.crc,
+            sidecar.body_len,
+            sidecar.flags,
+            sidecar.n,
+            sidecar.m,
+        ],
+        "fwd": sidecar.fwd,
+        "rev": sidecar.rev,
+        "digest": list(bytes.fromhex(sidecar.digest)),
+    }
+    return _frame(bytes(_encode_sections_body(sections)), magic=OFFSETS_MAGIC, flags=0)
+
+
+def decode_sidecar(data: bytes) -> SnapshotSidecar:
+    """Inverse of :func:`encode_sidecar`, with structural validation.
+
+    Anything inconsistent — framing, section shape, non-monotonic offsets —
+    raises a :class:`SnapshotError` subtype so catalog self-heal paths can
+    rebuild the sidecar instead of serving through a corrupt index.
+    """
+    body, _flags = _unframe(
+        data, magic=OFFSETS_MAGIC, allowed_flags=0, kind="offsets sidecar"
+    )
+    try:
+        sections = _decode_int_sections_body(body)
+    except UnicodeDecodeError as exc:
+        raise SnapshotFormatError(f"malformed section name: {exc}") from exc
+    meta = sections.get("meta")
+    fwd = sections.get("fwd")
+    rev = sections.get("rev")
+    digest_bytes = sections.get("digest")
+    if meta is None or len(meta) != 5 or fwd is None or rev is None:
+        raise SnapshotFormatError("offsets sidecar is missing a section")
+    if digest_bytes is None or len(digest_bytes) != 32 or any(
+        b > 0xFF for b in digest_bytes
+    ):
+        raise SnapshotFormatError("offsets sidecar digest is malformed")
+    crc, body_len, flags, n, m = meta
+    if flags & ~SNAPSHOT_FLAGS:
+        raise SnapshotVersionError(
+            f"offsets sidecar records unsupported feature flags 0x{flags & ~SNAPSHOT_FLAGS:x}"
+        )
+    if len(fwd) != n or len(rev) != (n if flags & FLAG_REVERSE else 0):
+        raise SnapshotFormatError("offsets sidecar row count disagrees with meta")
+    prev = -1
+    for off in fwd:
+        if off <= prev or off >= body_len:
+            raise SnapshotFormatError("offsets sidecar is not strictly increasing")
+        prev = off
+    for off in rev:
+        if off <= prev or off >= body_len:
+            raise SnapshotFormatError("offsets sidecar is not strictly increasing")
+        prev = off
+    return SnapshotSidecar(
+        crc, body_len, flags, n, m, fwd, rev, bytes(digest_bytes).hex()
+    )
+
+
+def _skip_rows_plain(
+    body: bytes, pos: int, n: int, offsets: List[int]
+) -> int:
+    for _ in range(n):
+        offsets.append(pos)
+        deg, pos = _read_uvarint(body, pos)
+        if deg > n:
+            raise SnapshotFormatError("row degree out of range")
+        for _ in range(deg):
+            _, pos = _read_uvarint(body, pos)
+        if pos > len(body):
+            raise SnapshotFormatError("truncated adjacency section")
+    return pos
+
+
+def _skip_rows_v2(body: bytes, pos: int, n: int, offsets: List[int]) -> int:
+    for _ in range(n):
+        offsets.append(pos)
+        _deg, _r, _blocks, _residuals, pos = _read_row_frame(body, pos, n)
+    return pos
+
+
+def scan_offsets(body: bytes, flags: int) -> Tuple[int, int, List[int], List[int]]:
+    """Walk a snapshot body once, recording every row's byte offset.
+
+    Returns ``(n, m, fwd_offsets, rev_offsets)``.  This is the sidecar
+    *rebuild* path — a skip scan, not a decode: rows are stepped over
+    without materialising adjacency lists.
+    """
+    n, m, _names, _codes, _nodes, _order, pos = _read_prefix(body, flags)
+    fwd: List[int] = []
+    rev: List[int] = []
+    skip = _skip_rows_v2 if flags & FLAG_GAPREF else _skip_rows_plain
+    pos = skip(body, pos, n, fwd)
+    if flags & FLAG_REVERSE:
+        pos = skip(body, pos, n, rev)
+    if pos != len(body):
+        raise SnapshotFormatError(f"{len(body) - pos} trailing bytes after body")
+    return n, m, fwd, rev
+
+
+def build_sidecar(data: bytes) -> SnapshotSidecar:
+    """Build the offsets sidecar for complete snapshot bytes (any flags)."""
+    body, flags = _unframe(data, allowed_flags=SNAPSHOT_FLAGS)
+    n, m, fwd, rev = scan_offsets(body, flags)
+    if flags & (FLAG_GAPREF | FLAG_PERMUTED):
+        # The body bytes are not canonical; identity requires a decode.
+        digest = decode_body(body, flags).digest()
+    else:
+        digest = hashlib.sha256(body).hexdigest()
+    return SnapshotSidecar(zlib.crc32(body), len(body), flags, n, m, fwd, rev, digest)
+
+
+def save_snapshot_v2(
+    csr: CSRGraph,
+    path: PathLike,
+    *,
+    gapref: bool = True,
+    reorder: Union[bool, str] = "auto",
+    sidecar: bool = True,
+) -> str:
+    """Write *csr* with the v2 layers; returns the content digest.
+
+    *reorder* applies the locality order from
+    :func:`repro.graph.kernels.csr_locality_order`, stored as a
+    permutation so the digest is unchanged.  The permutation section costs
+    ~2 bytes per node, which a graph whose canonical order is already
+    BFS-like (every generator here) never earns back — so the default
+    ``"auto"`` encodes both ways and keeps the smaller body, paying the
+    permutation only when the input order is genuinely scattered.
+    ``sidecar=True`` writes the ``.obl`` offsets file next to the snapshot
+    for the mmap reader.  Both files are written atomically, snapshot
+    first — a crash between the two leaves a valid snapshot whose sidecar
+    is rebuilt on demand.
+    """
+    if reorder not in (True, False, "auto"):
+        raise ValueError('reorder must be True, False or "auto"')
+    if reorder:
+        from repro.graph.kernels import csr_locality_order
+
+        encoded = encode_body_v2(csr, gapref=gapref, order=csr_locality_order(csr))
+        if reorder == "auto":
+            plain = encode_body_v2(csr, gapref=gapref, order=None)
+            if len(plain.body) <= len(encoded.body):
+                encoded = plain
+    else:
+        encoded = encode_body_v2(csr, gapref=gapref, order=None)
+    digest = csr.digest()
+    atomic_write_bytes(path, _frame(encoded.body, flags=encoded.flags))
+    if sidecar:
+        sc = SnapshotSidecar(
+            zlib.crc32(encoded.body),
+            len(encoded.body),
+            encoded.flags,
+            csr.n,
+            csr.m,
+            encoded.fwd_offsets,
+            encoded.rev_offsets,
+            digest,
+        )
+        atomic_write_bytes(sidecar_path(path), encode_sidecar(sc))
+    return digest
 
 
 # ----------------------------------------------------------------------
@@ -506,8 +1196,13 @@ def dump_bytes(csr: CSRGraph) -> bytes:
 
 
 def load_bytes(data: bytes) -> CSRGraph:
-    """Deserialise snapshot bytes back into a frozen graph."""
-    body, flags = _unframe(data)
+    """Deserialise snapshot bytes back into a frozen graph.
+
+    Accepts every flag combination this reader understands (v1 bodies and
+    the v2 gap+reference / permuted layers); the returned graph is always
+    canonical, so its digest is independent of the encoding flags.
+    """
+    body, flags = _unframe(data, allowed_flags=SNAPSHOT_FLAGS)
     return decode_body(body, flags)
 
 
@@ -595,6 +1290,10 @@ def encode_int_sections(sections: Dict[str, List[int]]) -> bytes:
     Same framing discipline as snapshots — magic, version, CRC — so variant
     files are corruption-checked before any array is trusted.
     """
+    return _frame(bytes(_encode_sections_body(sections)), magic=_SECTIONS_MAGIC, flags=0)
+
+
+def _encode_sections_body(sections: Dict[str, List[int]]) -> bytearray:
     out = bytearray()
     _write_uvarint(out, len(sections))
     for name, values in sections.items():
@@ -606,7 +1305,7 @@ def encode_int_sections(sections: Dict[str, List[int]]) -> bytes:
             if value < 0:
                 raise ValueError(f"section {name!r} holds a negative value")
             _write_uvarint(out, value)
-    return _frame(bytes(out), magic=_SECTIONS_MAGIC, flags=0)
+    return out
 
 
 def decode_int_sections(data: bytes) -> Dict[str, List[int]]:
