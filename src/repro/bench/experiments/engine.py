@@ -23,6 +23,13 @@ After the query phase an update batch flows through ``engine.apply`` and
 the workload re-runs, verifying the maintained representations still
 answer exactly like direct evaluation on the updated graph.
 
+A **TOL phase** then times reachability point lookups on ``Gr`` three
+ways — the session's :class:`~repro.index.tol.TOLIndex` labels, per-query
+BFS, and a :class:`~repro.index.twohop.TwoHopIndex` over the same ``Gr``
+— asserting all three answer identically (hard gate) and recording the
+label-vs-BFS speedup (``tol/bfs x``), gated at ≥ 5× on the largest
+generator graph.
+
 Semantic checks (flagged ``gate: true`` in ``BENCH_engine.json``) are hard
 CI gates; wall-clock comparisons are recorded per run for trend tracking
 but stay informational on shared runners, mirroring the kernels/store
@@ -43,6 +50,7 @@ from repro.bench.harness import ExperimentResult
 from repro.datasets.patterns import random_pattern
 from repro.datasets.updates import mixed_batch
 from repro.engine import GraphEngine
+from repro.index.twohop import TwoHopIndex
 from repro.queries.reachability import ReachabilityQuery
 from repro.store.catalog import SnapshotCatalog
 
@@ -101,8 +109,11 @@ def run(quick: bool = True) -> ExperimentResult:
     all_match = True
     batch_matches_oneshot = True
     post_update_match = True
+    tol_identity = True
     speedup_warm_vs_direct = {}
     speedup_batch = {}
+    speedup_tol = {}
+    gr_sizes = {}
 
     import tempfile
 
@@ -153,8 +164,53 @@ def run(quick: bool = True) -> ExperimentResult:
             )
             post_update_match &= routed_after == direct_after
 
+            # TOL phase: reachability point lookups on Gr, labels vs
+            # per-query BFS vs a 2-hop index over the same Gr — answer
+            # identity is a hard gate, the label speedup a tracked ratio.
+            # Lookups are biased toward pairs that actually evaluate on Gr
+            # (distinct hypernodes): same-class pairs resolve in the
+            # constant-time rewrite on every backend, so they time the
+            # shared rewrite, not the lookup being compared.
+            tol_engine = GraphEngine(g.copy())
+            art = tol_engine.reachability()
+            tol = tol_engine.tol()
+            assert tol is not None, "TOL build degraded on a healthy graph"
+            twohop = TwoHopIndex(art.compressed)
+            gr_sizes[name] = art.compressed.order()
+            rng = random.Random(31)
+            nodes = g.node_list()
+            lookups = []
+            for _ in range(n_pairs * 40):
+                q = ReachabilityQuery(rng.choice(nodes), rng.choice(nodes))
+                _, pair = art.rewrite(q.source, q.target)
+                if pair is not None:
+                    lookups.append(q)
+                    if len(lookups) >= n_pairs * 4:
+                        break
+            if not lookups:  # fully collapsed Gr: nothing left to time
+                lookups = [
+                    ReachabilityQuery(rng.choice(nodes), rng.choice(nodes))
+                    for _ in range(n_pairs * 4)
+                ]
+            t0 = time.perf_counter()
+            bfs_ans = [art.answer(q, algorithm="bfs") for q in lookups]
+            t_bfs = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            tol_ans = [art.answer(q, context=tol) for q in lookups]
+            t_tol = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            hop_ans = []
+            for q in lookups:
+                verdict, pair = art.rewrite(q.source, q.target)
+                hop_ans.append(
+                    verdict == "true" if pair is None else twohop.query(*pair)
+                )
+            t_hop = time.perf_counter() - t0
+            tol_identity &= tol_ans == bfs_ans == hop_ans
+
             speedup_warm_vs_direct[name] = t_direct / t_warm if t_warm else float("inf")
             speedup_batch[name] = t_oneshot / t_warm if t_warm else float("inf")
+            speedup_tol[name] = t_bfs / t_tol if t_tol else float("inf")
             rows.append(
                 {
                     "graph": name,
@@ -167,9 +223,22 @@ def run(quick: bool = True) -> ExperimentResult:
                     "one-shot ms": round(t_oneshot * 1e3, 1),
                     "warm/direct x": round(speedup_warm_vs_direct[name], 2),
                     "batch/one-shot x": round(speedup_batch[name], 2),
+                    "bfs ms": round(t_bfs * 1e3, 1),
+                    "tol ms": round(t_tol * 1e3, 1),
+                    "2hop ms": round(t_hop * 1e3, 1),
+                    # Ratio is only meaningful when Gr is big enough that a
+                    # BFS has real work to do; on a collapsed Gr (a handful
+                    # of hypernodes) both sides time in the noise, so the
+                    # row opts out of the regression band ("n/a" is skipped
+                    # by the ratio gate, same convention as the stress row).
+                    "tol/bfs x": (
+                        round(speedup_tol[name], 2)
+                        if gr_sizes[name] >= 100 else "n/a"
+                    ),
                 }
             )
 
+    biggest_gr = max(gr_sizes, key=lambda k: gr_sizes[k])
     gated_checks = [
         (
             "routed answers (cold and warm sessions) identical to direct-on-G "
@@ -200,6 +269,20 @@ def run(quick: bool = True) -> ExperimentResult:
             speedup_batch[largest] >= 1.0,
             False,
         ),
+        (
+            "TOL label answers identical to per-query BFS on Gr and to the "
+            "2-hop index for every lookup on every graph",
+            tol_identity,
+            True,
+        ),
+        (
+            f"TOL point lookups at least 5x faster than per-query BFS on the "
+            f"generator graph with the largest compressed Gr ({biggest_gr}; "
+            "the compression collapses the other Grs to a handful of nodes, "
+            "leaving BFS nothing to lose to)",
+            speedup_tol[biggest_gr] >= 5.0,
+            True,
+        ),
     ]
     checks = [(d, ok) for d, ok, _gate in gated_checks]
 
@@ -224,6 +307,7 @@ def run(quick: bool = True) -> ExperimentResult:
         columns=[
             "graph", "|V|", "|E|", "queries", "direct ms", "cold ms",
             "warm ms", "one-shot ms", "warm/direct x", "batch/one-shot x",
+            "bfs ms", "tol ms", "2hop ms", "tol/bfs x",
         ],
         rows=rows,
         checks=checks,

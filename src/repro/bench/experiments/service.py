@@ -244,6 +244,20 @@ def run(quick: bool = True) -> ExperimentResult:
         "qps": round(len(workload) / t_obs_live, 1),
         "speedup": round(t_serial / t_obs_live, 2) if t_obs_live else 0.0,
     })
+    # The obs run doubles as the TOL serving probe: epoch-served
+    # reachability must have answered from the labels (counted per lookup
+    # by ``tol_lookups_total``), not silently fallen back to BFS on Gr.
+    def _metric_total(name: str) -> float:
+        metric = obs_registry.get(name)
+        return sum(metric.values().values()) if metric is not None else 0.0
+
+    tol_lookups = _metric_total("tol_lookups_total")
+    tol_fallbacks = _metric_total("tol_fallbacks_total")
+    rows.append({
+        "graph": largest_name, "mode": "tol-serving", "workers": 1,
+        "queries": int(tol_lookups), "wall ms": float("nan"),
+        "qps": float("nan"), "speedup": float("nan"),
+    })
     service.close()
 
     # -- latency percentiles per query class -----------------------------
@@ -346,6 +360,13 @@ def run(quick: bool = True) -> ExperimentResult:
             percentiles_ordered and bool(percentiles),
             True,
         ),
+        (
+            f"epoch-served reachability answered from the TOL labels "
+            f"({int(tol_lookups)} label lookups, "
+            f"{int(tol_fallbacks)} fallbacks recorded)",
+            tol_lookups > 0,
+            True,
+        ),
     ]
     checks = [(d, ok) for d, ok, _gate in gated_checks]
 
@@ -375,6 +396,10 @@ def run(quick: bool = True) -> ExperimentResult:
             "instrumented_ms": round(t_obs_live * 1e3, 1),
             "overhead": round(obs_overhead, 4),
             "reps": reps,
+        },
+        "tol_serving": {
+            "lookups": int(tol_lookups),
+            "fallbacks": int(tol_fallbacks),
         },
         "percentiles": percentiles,
         "checks": [

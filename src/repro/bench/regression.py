@@ -36,7 +36,10 @@ EXPERIMENT_RATIOS: Dict[str, Dict[str, Tuple[str, ...]]] = {
         "key": ("graph",),
         "ratios": ("speedup", "v1/v2 size x", "eager/mmap mem x"),
     },
-    "engine": {"key": ("graph",), "ratios": ("warm/direct x", "batch/one-shot x")},
+    "engine": {
+        "key": ("graph",),
+        "ratios": ("warm/direct x", "batch/one-shot x", "tol/bfs x"),
+    },
     "service": {"key": ("graph", "mode", "workers"), "ratios": ("speedup",)},
 }
 

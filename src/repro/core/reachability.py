@@ -251,22 +251,54 @@ class ReachabilityCompression(QueryPreservingCompression):
         return self.query(source, target, evaluator=bidirectional_reachable)
 
     # -- answer-mapping protocol (router entry point) --------------------
+    @staticmethod
+    def _tol_context(context: Any, algorithm: Optional[str]) -> Any:
+        """The TOL fast-path context behind *context*, if one is usable.
+
+        The serving session's ``context_for("reachability")`` hands a
+        :class:`~repro.index.tol.TOLIndex` built over this artifact's
+        ``Gr`` — recognised structurally (anything exposing
+        ``reachable(u, v)``), so :mod:`repro.core` stays import-free of
+        the index layer.  Used for the default route and for an explicit
+        ``algorithm="tol"``; any named stock evaluator bypasses it (the
+        bench forces ``algorithm="bfs"`` for exactly that comparison).
+        """
+        if algorithm not in (None, "tol"):
+            return None
+        usable = context is not None and callable(getattr(context, "reachable", None))
+        if algorithm == "tol" and not usable:
+            raise ValueError("algorithm 'tol' requires a TOL index context")
+        return context if usable else None
+
+    def _answer_tol(self, query: ReachabilityQuery, tol: Any) -> bool:
+        """One rewrite + one label intersection; no traversal of ``Gr``."""
+        verdict, rewritten = self.rewrite(query.source, query.target)
+        if verdict != "evaluate":
+            return verdict == "true"
+        assert rewritten is not None
+        return bool(tol.reachable(rewritten[0], rewritten[1]))
+
     def answer(self, query: ReachabilityQuery, *, context: Any = None,
                algorithm: Optional[str] = None) -> bool:
         """Answer a first-class :class:`ReachabilityQuery` on ``Gr``.
 
         *algorithm* names a stock evaluator (``bfs`` default, ``bibfs``,
-        ``dfs``); *context* is accepted for protocol uniformity (reachability
-        evaluation keeps no per-session state).  Total over node arguments:
-        a query naming a node the graph never held answers ``False``, the
-        same convention as :func:`repro.queries.reachability
-        .evaluate_reachability` — so routed answers equal direct ones even
-        on degenerate workloads.
+        ``dfs``) or ``"tol"``; *context*, when it carries a sealed
+        :class:`~repro.index.tol.TOLIndex` over this ``Gr``, turns the
+        default route into a label intersection instead of a traversal —
+        byte-identical answers, per the TOL exactness contract.  Total
+        over node arguments: a query naming a node the graph never held
+        answers ``False``, the same convention as
+        :func:`repro.queries.reachability.evaluate_reachability` — so
+        routed answers equal direct ones even on degenerate workloads.
         """
         if not isinstance(query, ReachabilityQuery):
             raise TypeError(f"expected a ReachabilityQuery, got {type(query).__name__}")
         if query.source not in self._class_of or query.target not in self._class_of:
             return False
+        tol = self._tol_context(context, algorithm)
+        if tol is not None:
+            return self._answer_tol(query, tol)
         name = algorithm if algorithm is not None else "bfs"
         try:
             evaluator = EVALUATORS[name]
@@ -289,7 +321,27 @@ class ReachabilityCompression(QueryPreservingCompression):
         exact), so sharing the traversal cannot change any answer — this
         is the serving front's main single-core throughput lever for
         workloads with hot source nodes.
+
+        With a TOL context (the default route once the serving session
+        has sealed one), the batch needs **no traversal sharing and no
+        answer memo at all**: every query is one rewrite plus one label
+        intersection, so the loop below is skipped and each element is
+        answered independently — still element-wise identical to
+        :meth:`answer`.
         """
+        tol = self._tol_context(context, algorithm)
+        if tol is not None:
+            tol_answers: List[bool] = []
+            for q in queries:
+                if not isinstance(q, ReachabilityQuery):
+                    raise TypeError(
+                        f"expected a ReachabilityQuery, got {type(q).__name__}"
+                    )
+                if q.source not in self._class_of or q.target not in self._class_of:
+                    tol_answers.append(False)
+                else:
+                    tol_answers.append(self._answer_tol(q, tol))
+            return tol_answers
         name = algorithm if algorithm is not None else "bfs"
         validated = name == "bfs"
         answers: List[Optional[bool]] = [None] * len(queries)

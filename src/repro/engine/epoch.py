@@ -51,6 +51,7 @@ from repro.obs.metrics import observe as obs_observe
 from repro.obs.trace import trace_span
 from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
+from repro.index.tol import TOLIndex
 from repro.queries.matching import MatchContext, match
 from repro.queries.pattern import GraphPattern
 from repro.queries.reachability import ReachabilityQuery, evaluate_reachability
@@ -150,6 +151,12 @@ class Epoch:
         self._degraded: Dict[str, str] = {}
         self._contexts: Dict[str, MatchContext] = {}
         self._thawed: Optional[DiGraph] = None  # dict-backend builds share one thaw
+        #: Sealed TOL reachability labels over this epoch's Gr — built once
+        #: (lazily, first routed reachability query), then read-only and
+        #: shared by every reader thread.  A failed build degrades the
+        #: epoch to label-free reachability (BFS on Gr) — sticky, like the
+        #: artifact degradations, but it never refuses the representation.
+        self._tol: Optional["TOLIndex"] = None
         # Pin/retire lifecycle (RCU-style grace period accounting).
         self._pin_lock = threading.Lock()
         self._pins = 0
@@ -219,6 +226,7 @@ class Epoch:
             self._artifacts.clear()
             self._contexts.clear()
             self._thawed = None
+            self._tol = None
 
     def __enter__(self) -> "Epoch":
         return self.acquire()
@@ -299,16 +307,17 @@ class Epoch:
         obs_inc("epoch_degraded_total", (key,))
         raise RepresentationUnavailable(key, reason)
 
-    def context_for(self, key: str) -> Optional[MatchContext]:
+    def context_for(self, key: str) -> Optional[Any]:
         """The epoch's shared evaluation cache for representation *key*.
 
         Pattern and original targets get one sealed
         :class:`MatchContext` per epoch — built once, then read-only and
-        safely shared by every reader thread; reachability keeps no
-        evaluation state (``None``).
+        safely shared by every reader thread; reachability gets the
+        epoch's sealed :class:`~repro.index.tol.TOLIndex` (``None`` when
+        its build degraded — the evaluator then runs BFS on ``Gr``).
         """
         if key == "reachability":
-            return None
+            return self._tol_index()
         if key not in ("pattern", ORIGINAL):
             raise ValueError(f"unknown representation {key!r}")
         ctx = self._contexts.get(key)  # lock-free fast path
@@ -330,6 +339,80 @@ class Epoch:
                 ctx.seal()
                 self._contexts[key] = ctx
         return ctx
+
+    def _tol_index(self) -> Optional[TOLIndex]:
+        """The epoch's sealed TOL label index, or ``None`` when degraded.
+
+        Built exactly once under the epoch's build lock (double-checked,
+        like the artifacts) and subject to the same ``build_deadline_s``
+        and fault-injection point (``epoch.build.tol``).  Unlike artifact
+        degradation this never raises: an epoch without labels still
+        serves reachability — BFS on ``Gr``, same answers, slower route.
+        A catalog-backed epoch rehydrates the persisted label variant
+        (warm hit: zero recompute); the artifact ids are canonical on both
+        sides of that seam, so the rehydrated labels answer identically.
+        """
+        index = self._tol  # lock-free fast path
+        if index is not None:
+            return index
+        if "tol" in self._degraded:
+            return None
+        with self._build_lock:
+            index = self._tol
+            if index is not None:
+                return index
+            if "tol" in self._degraded:
+                return None
+            self._check_serving()
+
+            def build() -> TOLIndex:
+                fault_point("epoch.build.tol")
+                if self.backend == "csr" and self._catalog is not None:
+                    digest = self._digest
+                    if digest is None:
+                        digest = self._catalog.put(self._dense())
+                    built: TOLIndex = self._catalog.tol(digest)
+                    return built
+                return TOLIndex(
+                    self.artifact("reachability").compressed, backend=self.backend
+                )
+
+            start = time.perf_counter()
+            try:
+                with trace_span("epoch.build", representation="tol",
+                                version=self.version):
+                    if self.build_deadline_s is None:
+                        index = build()
+                    else:
+                        index = run_with_deadline(
+                            build, self.build_deadline_s,
+                            label=f"epoch {self.version} tol build",
+                        )
+            except EpochRetired:
+                raise
+            except DeadlineExceeded as exc:
+                self._degrade_tol(f"build exceeded {exc.timeout:g}s deadline")
+                return None
+            except Exception as exc:  # noqa: BLE001 - degrade, don't die
+                self._degrade_tol(f"build failed: {type(exc).__name__}: {exc}")
+                return None
+            dt = time.perf_counter() - start
+            obs_inc("epoch_builds_total", ("tol",))
+            obs_observe("epoch_build_seconds", dt, ("tol",))
+            obs_observe("tol_build_seconds", dt)
+            if self._counters is not None:
+                bump(self._counters, "tol_builds")
+            self._tol = index
+        return index
+
+    def _degrade_tol(self, reason: str) -> None:
+        """Record a failed label build; reachability stays label-free this
+        epoch (sticky, no rebuild storm) but is never refused."""
+        self._degraded["tol"] = reason
+        if self._counters is not None:
+            bump(self._counters, "degraded_builds")
+        obs_inc("epoch_degraded_total", ("tol",))
+        obs_inc("tol_fallbacks_total", ("build",))
 
     def evaluate_original(self, query: Any, algorithm: Optional[str] = None) -> Any:
         """Direct evaluation on the epoch's frozen ``G``.
@@ -409,6 +492,7 @@ class Epoch:
             "mmap": not isinstance(self.csr, CSRGraph),
             "digest": self._digest,
             "materialized": sorted(self._artifacts),
+            "tol": self._tol is not None,
             "degraded": dict(sorted(self._degraded.items())),
             "pins": self._pins,
             "retired": self._retired,

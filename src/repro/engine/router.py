@@ -41,6 +41,9 @@ from repro.core.base import QueryPreservingCompression
 from repro.core.pattern import PatternCompression
 from repro.core.reachability import ReachabilityCompression
 from repro.engine.counters import RouterStats
+from repro.faults.breaker import CircuitBreaker
+from repro.index.tol import TOLError
+from repro.obs.metrics import inc as obs_inc
 from repro.obs.trace import trace_span
 
 #: The escape-hatch target: evaluate on the original graph.
@@ -81,12 +84,60 @@ class QueryRouter:
         representations: Tuple[
             Tuple[str, Type[QueryPreservingCompression]], ...
         ] = REPRESENTATIONS,
+        tol_breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         self._table: List[Tuple[str, Type[QueryPreservingCompression]]] = list(
             representations
         )
         self._classes: Dict[str, Type[QueryPreservingCompression]] = dict(self._table)
         self._keys = set(self._classes)
+        #: Guards the ``ReachabilityQuery → TOL`` fast path: repeated label
+        #: failures open the breaker and dispatch skips straight to BFS on
+        #: ``Gr`` (no per-query build attempts) until the cooldown closes
+        #: it again.  The fallback is one rung *above* direct-on-``G`` —
+        #: ``Gr`` itself stays routable throughout.
+        self._tol_breaker = (
+            tol_breaker if tol_breaker is not None
+            else CircuitBreaker(threshold=3, cooldown_s=5.0)
+        )
+
+    # ------------------------------------------------------------------
+    def _answer_reachability(
+        self,
+        artifact: QueryPreservingCompression,
+        queries: List[Any],
+        session: Any,
+        algorithm: Optional[str],
+        span: Any,
+    ) -> List[Any]:
+        """Answer a reachability group, TOL-first with a BFS-on-``Gr`` net.
+
+        The session's ``context_for("reachability")`` supplies the sealed
+        :class:`~repro.index.tol.TOLIndex` (or ``None`` when its build
+        degraded); a lookup failure (:class:`~repro.index.tol.TOLError`,
+        e.g. a stale index racing a publication) records a breaker failure
+        and re-answers the whole group with the stock evaluator on ``Gr``
+        — the route changes, the answers cannot.
+        """
+        context = None
+        if algorithm in (None, "tol"):
+            if self._tol_breaker.allow("tol"):
+                context = session.context_for("reachability")
+            else:
+                obs_inc("tol_fallbacks_total", ("breaker",))
+        if context is not None:
+            try:
+                answers = artifact.answer_batch(
+                    queries, context=context, algorithm=algorithm
+                )
+                self._tol_breaker.record_success("tol")
+                return answers
+            except TOLError:
+                self._tol_breaker.record_failure("tol")
+                obs_inc("tol_fallbacks_total", ("error",))
+                span.set(tol_fallback=True)
+        fallback = None if algorithm == "tol" else algorithm
+        return artifact.answer_batch(queries, context=None, algorithm=fallback)
 
     # ------------------------------------------------------------------
     def route(self, query: Any, on: str = "auto",
@@ -168,9 +219,14 @@ class QueryRouter:
                 # the answer_batch contract, and it keeps single-query dispatch
                 # on the same amortisation paths as batches (notably the
                 # sealed-context answer memo of epoch serving).
-                answer = artifact.answer_batch(
-                    [query], context=session.context_for(key), algorithm=algorithm
-                )[0]
+                if key == "reachability":
+                    answer = self._answer_reachability(
+                        artifact, [query], session, algorithm, span
+                    )[0]
+                else:
+                    answer = artifact.answer_batch(
+                        [query], context=session.context_for(key), algorithm=algorithm
+                    )[0]
         if stats is not None:
             stats.record(key, time.perf_counter() - start)
         return answer
@@ -229,11 +285,17 @@ class QueryRouter:
                             stats.record(ORIGINAL, time.perf_counter() - start,
                                          queries=len(positions))
                         continue
-                    group_answers = artifact.answer_batch(
-                        [queries[i] for i in positions],
-                        context=session.context_for(key),
-                        algorithm=algorithm,
-                    )
+                    group = [queries[i] for i in positions]
+                    if key == "reachability":
+                        group_answers = self._answer_reachability(
+                            artifact, group, session, algorithm, span
+                        )
+                    else:
+                        group_answers = artifact.answer_batch(
+                            group,
+                            context=session.context_for(key),
+                            algorithm=algorithm,
+                        )
                     for i, answer in zip(positions, group_answers):
                         answers[i] = answer
             if stats is not None:

@@ -33,6 +33,7 @@ the batch, invalidated exactly when an update batch lands.
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 from typing import Any, Dict, Hashable, Iterable, List, NamedTuple, Optional, Union
 
@@ -48,7 +49,11 @@ from repro.engine.updates import (
     EdgeUpdate,
     UpdateLog,
     effective_updates,
+    refresh_reachability_index,
 )
+from repro.index.tol import TOLIndex
+from repro.obs.metrics import inc as obs_inc
+from repro.obs.metrics import observe as obs_observe
 from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
 from repro.queries.matching import MatchContext, match
@@ -147,12 +152,23 @@ class GraphEngine:
             "reachability": self._build_reachability,
             "pattern": self._build_pattern,
         }
+        # TOL reachability labels over Gr's condensation: built lazily on
+        # the first routed reachability query, patched in place after
+        # update batches, degraded (None context -> BFS on Gr) when a
+        # build/repair fails.  ``_tol_reason`` records why the session is
+        # degraded; the next apply() clears it so rebuilds get retried.
+        self._tol: Optional[TOLIndex] = None
+        self._tol_fresh: bool = True
+        self._tol_reason: Optional[str] = None
         #: Lifecycle instrumentation (the bench reports these).
         self.counters: Dict[str, int] = {
             "catalog_warm_hits": 0,
             "artifact_builds": 0,
             "refreezes": 0,
             "queries": 0,
+            "tol_builds": 0,
+            "tol_repairs": 0,
+            "tol_rebuilds": 0,
         }
         #: Per-class routing statistics (:mod:`repro.engine.counters`) —
         #: hit counts and latencies per representation key, recorded by
@@ -281,18 +297,79 @@ class GraphEngine:
         return compress_pattern(self.graph)
 
     # ------------------------------------------------------------------
+    # TOL reachability labels
+    # ------------------------------------------------------------------
+    def tol(self) -> Optional[TOLIndex]:
+        """The session's TOL label index over ``Gr``, or ``None`` degraded.
+
+        Built lazily from the reachability artifact; after update batches
+        the labels are patched in place via
+        :func:`~repro.engine.updates.refresh_reachability_index` (full
+        rebuild when the delta is outside the repairable class).  Any
+        build/refresh failure degrades the session to label-free answering
+        — BFS on ``Gr``, same answers — until the next :meth:`apply`
+        clears the degradation and a rebuild is retried.
+        """
+        if self._tol_reason is not None:
+            return None
+        try:
+            artifact = self.artifact("reachability")
+            if self._tol is None:
+                self._tol = self._build_tol(artifact)
+            elif not self._tol_fresh:
+                action = refresh_reachability_index(self._tol, artifact)
+                if action == "rebuild":
+                    bump(self.counters, "tol_rebuilds")
+                    obs_inc("tol_rebuilds_total")
+                    self._tol = self._build_tol(artifact)
+                elif action == "repaired":
+                    bump(self.counters, "tol_repairs")
+            self._tol_fresh = True
+            return self._tol
+        except Exception:
+            self._tol = None
+            self._tol_reason = "build"
+            obs_inc("tol_fallbacks_total", ("build",))
+            return None
+
+    def _build_tol(self, artifact: QueryPreservingCompression) -> TOLIndex:
+        """Build (or rehydrate) the label index for *artifact*.
+
+        The catalog variant is only usable when the artifact itself came
+        through the catalog — i.e. no maintainer is serving reachability
+        and the snapshot is fresh.  incRCM-maintained artifacts carry
+        non-canonical class ids, so for those the index is always built
+        from the exact artifact object the query rewrite uses.
+        """
+        start = time.perf_counter()
+        index: Optional[TOLIndex] = None
+        if (
+            self._catalog is not None
+            and self.backend == "csr"
+            and "reachability" not in self._maintainers
+            and self._log.staleness == 0
+        ):
+            index = self._catalog.tol(self.digest())
+        if index is None:
+            index = TOLIndex(artifact.compressed, backend=self.backend)
+        bump(self.counters, "tol_builds")
+        obs_observe("tol_build_seconds", time.perf_counter() - start)
+        return index
+
+    # ------------------------------------------------------------------
     # Session cache
     # ------------------------------------------------------------------
-    def context_for(self, key: str) -> Optional[MatchContext]:
+    def context_for(self, key: str) -> Optional[Any]:
         """The session's evaluation cache for representation *key*.
 
         Pattern targets get a :class:`MatchContext` over the compressed (or
         original) graph, built once and shared across every query of the
-        session until an update batch invalidates it; reachability needs no
-        per-session state (``None``).
+        session until an update batch invalidates it; reachability gets the
+        session's :class:`~repro.index.tol.TOLIndex` (or ``None`` when the
+        labels are degraded — the evaluator then runs BFS on ``Gr``).
         """
         if key == "reachability":
-            return None
+            return self.tol()
         if key == "pattern":
             ctx = self._contexts.get(key)
             if ctx is None:
@@ -443,6 +520,11 @@ class GraphEngine:
                 (graph.add_edge if op == "+" else graph.remove_edge)(u, v)
         self._artifacts.clear()  # anything not maintainer-backed is stale
         self._contexts.clear()
+        # The label index is stale, not dead: the next reachability query
+        # diffs it against the updated Gr and repairs in place when it can.
+        # A degraded session gets its retry here too.
+        self._tol_fresh = False
+        self._tol_reason = None
 
         refrozen = False
         if self._should_refreeze():

@@ -34,6 +34,8 @@ from repro.core.incremental_pattern import IncrementalPatternCompressor
 from repro.core.incremental_reach import IncrementalReachabilityCompressor
 from repro.core.base import QueryPreservingCompression
 from repro.graph.digraph import DiGraph
+from repro.index.tol import TOLIndex
+from repro.index.tol import refresh_index as tol_refresh_index
 
 Node = Hashable
 Edge = Tuple[Node, Node]
@@ -160,6 +162,34 @@ def replay_updates(
         for op, u, v in batch:
             (graph.add_edge if op == "+" else graph.remove_edge)(u, v)
     return graph
+
+
+def refresh_reachability_index(
+    index: "TOLIndex", artifact: QueryPreservingCompression
+) -> str:
+    """Bring a TOL label index up to date with a maintained ``Gr``.
+
+    This is the maintainer → index seam: after ``incRCM``
+    (:class:`ReachabilityMaintainer`) patches the reachability artifact,
+    the serving session hands the sealed :class:`~repro.index.tol.TOLIndex`
+    and the *current* artifact here.  The delta between the index's
+    recorded condensation and the artifact's ``compressed`` graph is
+    diffed and, when it is insert-only and acyclic, repaired in place by
+    bounded label patching.  Returns the action taken:
+
+    ``"fresh"``
+        the index already matches — nothing to do;
+    ``"repaired"``
+        labels were patched in place and remain exact;
+    ``"rebuild"``
+        the delta is outside the repairable class (deletions, new cycles,
+        label bloat past the rebuild ratio) — the caller **must** discard
+        the index and rebuild from scratch before answering with it.
+    """
+    result = tol_refresh_index(index, artifact.compressed)
+    if result is None:
+        return "fresh"
+    return "repaired" if result else "rebuild"
 
 
 class UpdateJournal:

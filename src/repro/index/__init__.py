@@ -6,11 +6,23 @@
   Sections 3 and 4 show they do *not* preserve reachability / pattern
   queries, and the tests reproduce the paper's counterexamples;
 * :mod:`repro.index.interval` — GRAIL-style interval labeling [34], a
-  negative-filter index included for the indexing-cost comparisons.
+  negative-filter index included for the indexing-cost comparisons;
+* :mod:`repro.index.tol` — butterfly total-order reachability labels over
+  the compressed ``Gr`` (SIGMOD'14 TOL), incrementally maintained; the
+  router's reachability fast path.
 """
 
 from repro.index.twohop import TwoHopIndex
 from repro.index.kindex import KIndex, k_bisimulation_partition
 from repro.index.interval import IntervalIndex
+from repro.index.tol import TOLError, TOLIndex, refresh_index
 
-__all__ = ["TwoHopIndex", "KIndex", "k_bisimulation_partition", "IntervalIndex"]
+__all__ = [
+    "TwoHopIndex",
+    "KIndex",
+    "k_bisimulation_partition",
+    "IntervalIndex",
+    "TOLError",
+    "TOLIndex",
+    "refresh_index",
+]

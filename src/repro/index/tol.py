@@ -1,0 +1,529 @@
+"""Total-order reachability labeling (TOL) over the compressed ``Gr``.
+
+Butterfly-style total-order labels (Zhu, Lin, Wang, Xiao, SIGMOD'14):
+every condensation node ``c`` carries two hub sets — ``L_out(c)`` (hubs
+``c`` reaches) and ``L_in(c)`` (hubs reaching ``c``) — built by pruned
+BFS under one global *total order* of the nodes, so
+
+``u ⇝ v  iff  (L_out(u) ∪ {u}) ∩ (L_in(v) ∪ {v}) ≠ ∅``.
+
+The order is the butterfly cost heuristic: descending
+``(in_degree + 1) · (out_degree + 1)`` with the canonical component id as
+the tie-break, making label construction fully deterministic over the
+frozen CSR layout (and independent of ``PYTHONHASHSEED``).  The paper's
+reachability compression makes this index tiny: it is built over the
+condensation of ``Gr`` — already a DAG a fraction of ``G``'s size — so a
+routed reachability query becomes one O(1) rewrite plus one label
+intersection instead of a per-query BFS.
+
+Incremental maintenance (the dynamic half of TOL) is *bounded repair*:
+
+* an **insert-only, acyclic** delta is repaired in place — for a new DAG
+  edge ``a → b``, ``L_out(b) ∪ {b}`` is unioned into every ancestor of
+  ``a`` and ``L_in(a) ∪ {a}`` into every descendant of ``b``.  Any pair
+  ``x ⇝ y`` newly connected through ``a → b`` was answerable as
+  ``b ⇝ y`` before the insert via some hub ``h``, and the backward sweep
+  plants exactly that ``h`` (or ``b`` itself) in ``L_out(x)`` — so repair
+  preserves completeness, and every label added states a true
+  reachability fact about the *new* graph (soundness is free);
+* anything else — edge/node **removals**, a **cycle-creating** insert
+  (the condensation would change shape), a repair cone past the budget,
+  or cumulative repair bloat past ``rebuild_ratio`` of the built size —
+  makes :meth:`TOLIndex.apply_delta` return ``False``: the caller must
+  rebuild (the engine counts that and falls back down the existing
+  degraded-representation ladder).
+
+Answers are byte-identical to BFS on the indexed graph and to
+:class:`~repro.index.twohop.TwoHopIndex` — the randomized suite in
+``tests/test_tol.py`` cross-validates all three on both backends.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple, Union
+
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraph
+from repro.graph.scc import condensation
+from repro.obs.metrics import inc as obs_inc
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+class TOLError(RuntimeError):
+    """The index cannot answer (unknown node / invalidated by a delta).
+
+    The router treats this as "fall back to BFS on ``Gr``" — the route
+    changes, the answer never does.
+    """
+
+
+class TOLIndex:
+    """A dynamic total-order reachability index over a directed graph.
+
+    >>> g = DiGraph.from_edges([(1, 2), (2, 3)])
+    >>> idx = TOLIndex(g)
+    >>> idx.reachable(1, 3), idx.reachable(3, 1)
+    (True, False)
+
+    Built over the condensation, so cyclic graphs work; the incremental
+    :meth:`apply_delta` path only repairs DAG-shaped indexes (the serving
+    use case: ``Gr`` is always a DAG) and asks for a rebuild otherwise.
+    """
+
+    def __init__(
+        self,
+        graph: Union[DiGraph, CSRGraph],
+        backend: str = "csr",
+        rebuild_ratio: float = 1.0,
+    ) -> None:
+        if backend not in ("csr", "dict"):
+            raise ValueError(f"unknown backend: {backend!r} (expected 'csr' or 'dict')")
+        if rebuild_ratio <= 0:
+            raise ValueError("rebuild_ratio must be positive")
+        #: Repair-bloat budget: cumulative label entries added by repairs
+        #: beyond ``rebuild_ratio * (built entries + |comp|)`` trigger a
+        #: rebuild request (the staleness counter of the ISSUE).
+        self.rebuild_ratio = rebuild_ratio
+        #: Inserts repaired in place since the last full build.
+        self.repairs = 0
+        #: Label entries added by those repairs (the bloat counter).
+        self.repaired_entries = 0
+        if isinstance(graph, CSRGraph):
+            if backend != "csr":
+                raise ValueError("a frozen snapshot requires backend='csr'")
+            self._build_csr(graph)
+        elif backend == "csr":
+            self._build_csr(CSRGraph.from_digraph(graph))
+        else:
+            self._build_dict(graph)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _init_state(
+        self,
+        scc_of: Dict[Node, int],
+        ncomp: int,
+        edges: Iterable[Edge],
+        comp_edges: Iterable[Tuple[int, int]],
+    ) -> None:
+        self._scc_of: Dict[Node, int] = scc_of
+        self._ncomp = ncomp
+        self._label_out: Dict[int, Set[int]] = {c: set() for c in range(ncomp)}
+        self._label_in: Dict[int, Set[int]] = {c: set() for c in range(ncomp)}
+        #: Node-level edge set of the indexed graph — what refresh diffs.
+        self._edges: Set[Edge] = set(edges)
+        #: Condensation DAG adjacency, maintained under repairs.
+        self._succ: Dict[int, Set[int]] = {c: set() for c in range(ncomp)}
+        self._pred: Dict[int, Set[int]] = {c: set() for c in range(ncomp)}
+        for a, b in comp_edges:
+            if a != b:
+                self._succ[a].add(b)
+                self._pred[b].add(a)
+        #: Repairs are only sound while the comp structure is the built
+        #: one; a non-trivial SCC means inserts could merge components.
+        self._dag = ncomp == len(scc_of)
+
+    def _finish_build(self) -> None:
+        self._built_entries = self.entry_count()
+        self.repairs = 0
+        self.repaired_entries = 0
+
+    def _butterfly_order(
+        self, ncomp: int, out_deg: List[int], in_deg: List[int]
+    ) -> List[int]:
+        """The total order: descending butterfly cost, comp id tie-break."""
+        return sorted(
+            range(ncomp),
+            key=lambda c: (-(in_deg[c] + 1) * (out_deg[c] + 1), c),
+        )
+
+    def _build_csr(self, csr: CSRGraph) -> None:
+        from repro.graph.csr import reverse_from_forward
+        from repro.graph.kernels import csr_condensation
+
+        cond = csr_condensation(csr)
+        comp = cond.comp
+        indexer = csr.indexer
+        node_of = indexer.node
+        scc_of = {node_of(i): comp[i] for i in range(csr.n)}
+        ncomp = cond.ncomp
+        indptr, indices = cond.indptr, cond.indices
+        rindptr, rindices = reverse_from_forward(ncomp, indptr, indices)
+        out_deg = [indptr[c + 1] - indptr[c] for c in range(ncomp)]
+        in_deg = [rindptr[c + 1] - rindptr[c] for c in range(ncomp)]
+        comp_edges = [
+            (c, indices[e])
+            for c in range(ncomp)
+            for e in range(indptr[c], indptr[c + 1])
+        ]
+        node_edges = [
+            (node_of(i), node_of(j))
+            for i in range(csr.n)
+            for j in csr.successors(i)
+        ]
+        self._init_state(scc_of, ncomp, node_edges, comp_edges)
+
+        def succ_of(c: int) -> List[int]:
+            return indices[indptr[c]: indptr[c + 1]]
+
+        def pred_of(c: int) -> List[int]:
+            return rindices[rindptr[c]: rindptr[c + 1]]
+
+        for hub in self._butterfly_order(ncomp, out_deg, in_deg):
+            self._pruned_bfs(hub, succ_of, forward=True)
+            self._pruned_bfs(hub, pred_of, forward=False)
+        self._finish_build()
+
+    def _build_dict(self, graph: DiGraph) -> None:
+        cond = condensation(graph)
+        dag = cond.dag
+        ncomp = dag.order()
+        out_deg = [0] * ncomp
+        in_deg = [0] * ncomp
+        for c in dag.nodes():
+            out_deg[c] = dag.out_degree(c)
+            in_deg[c] = dag.in_degree(c)
+        self._init_state(dict(cond.scc_of), ncomp, graph.edges(), dag.edges())
+
+        succ_of = dag.successors
+        pred_of = dag.predecessors
+        for hub in self._butterfly_order(ncomp, out_deg, in_deg):
+            self._pruned_bfs(hub, succ_of, forward=True)
+            self._pruned_bfs(hub, pred_of, forward=False)
+        self._finish_build()
+
+    def _covered(self, a: int, b: int) -> bool:
+        """Is ``a ⇝ b`` already answerable from the current labels?"""
+        la, lb = self._label_out[a], self._label_in[b]
+        if len(la) > len(lb):
+            la, lb = lb, la
+        return any(h in lb for h in la)
+
+    def _pruned_bfs(
+        self, hub: int, neighbors: Callable[[int], object], forward: bool
+    ) -> None:
+        seen: Set[int] = {hub}
+        queue: deque = deque((hub,))
+        while queue:
+            s = queue.popleft()
+            if s != hub:
+                if forward and self._covered(hub, s):
+                    continue  # prune: already covered, skip the subtree
+                if not forward and self._covered(s, hub):
+                    continue
+                if forward:
+                    self._label_in[s].add(hub)
+                else:
+                    self._label_out[s].add(hub)
+            for t in neighbors(s):
+                if t not in seen:
+                    seen.add(t)
+                    queue.append(t)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def reachable(self, u: Node, v: Node) -> bool:
+        """``u ⇝ v`` (reflexive), answered from labels only.
+
+        Raises :class:`TOLError` for a node the index never saw — the
+        router's cue to retry the query on ``Gr`` directly.
+        """
+        obs_inc("tol_lookups_total")
+        try:
+            su = self._scc_of[u]
+            sv = self._scc_of[v]
+        except KeyError:
+            raise TOLError(f"node not indexed: {u!r} -> {v!r}") from None
+        if su == sv:
+            return True
+        lo = self._label_out[su] | {su}
+        li = self._label_in[sv] | {sv}
+        if len(lo) > len(li):
+            lo, li = li, lo
+        return any(h in li for h in lo)
+
+    # TwoHopIndex spelling, so cross-validation loops read uniformly.
+    query = reachable
+
+    def _reach_comp(self, a: int, b: int) -> bool:
+        if a == b:
+            return True
+        lo = self._label_out[a] | {a}
+        li = self._label_in[b] | {b}
+        if len(lo) > len(li):
+            lo, li = li, lo
+        return any(h in li for h in lo)
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def nodes(self) -> FrozenSet[Node]:
+        """The indexed graph's node set (for delta diffing)."""
+        return frozenset(self._scc_of)
+
+    def edges(self) -> FrozenSet[Edge]:
+        """The indexed graph's edge set (for delta diffing)."""
+        return frozenset(self._edges)
+
+    def apply_delta(
+        self, added_nodes: Iterable[Node], added_edges: Iterable[Edge]
+    ) -> bool:
+        """Patch the labels for an insert-only delta; ``False`` = rebuild.
+
+        Returns ``True`` when every insert was repaired in place and the
+        index stays exact.  Returns ``False`` when the delta cannot be
+        soundly repaired (cycle-creating insert, non-DAG build, repair
+        cone over budget) or when cumulative repair bloat passed
+        ``rebuild_ratio`` — **the index must then be rebuilt before the
+        next query**: labels stay sound (every entry is a true fact) but
+        may be incomplete mid-delta.
+
+        Removals are never repairable here (labels would over-approximate);
+        callers diff the graphs first and skip straight to a rebuild.
+        """
+        if not self._dag:
+            return False
+        for v in sorted(added_nodes, key=repr):
+            if v in self._scc_of:
+                continue
+            c = self._ncomp
+            self._ncomp += 1
+            self._scc_of[v] = c
+            self._label_out[c] = set()
+            self._label_in[c] = set()
+            self._succ[c] = set()
+            self._pred[c] = set()
+        budget = max(128, int(2 * (self._built_entries + self._ncomp)))
+        for u, v in sorted(added_edges, key=repr):
+            if (u, v) in self._edges:
+                continue
+            if u not in self._scc_of or v not in self._scc_of:
+                return False  # endpoint the delta never declared
+            if not self._insert_edge(u, v, budget):
+                return False
+        bloat_cap = self.rebuild_ratio * (self._built_entries + self._ncomp)
+        return self.repaired_entries <= bloat_cap
+
+    def _insert_edge(self, u: Node, v: Node, budget: int) -> bool:
+        a, b = self._scc_of[u], self._scc_of[v]
+        if a == b:
+            # A self-edge at DAG level can only be a literal self-loop;
+            # reachability is reflexive already.
+            self._edges.add((u, v))
+            return True
+        if self._reach_comp(b, a):
+            return False  # the insert closes a cycle: comp structure changes
+        self._edges.add((u, v))
+        already = self._reach_comp(a, b)
+        self._succ[a].add(b)
+        self._pred[b].add(a)
+        if already:
+            return True  # transitively implied: labels already cover it
+        self.repairs += 1
+        obs_inc("tol_repairs_total")
+        # Backward cone of a learns how to reach b's hubs; forward cone of
+        # b learns a's hubs.  Both sweeps include the endpoints.
+        patch_out = self._label_out[b] | {b}
+        if not self._sweep(a, self._pred, self._label_out, patch_out, budget):
+            return False
+        patch_in = self._label_in[a] | {a}
+        return self._sweep(b, self._succ, self._label_in, patch_in, budget)
+
+    def _sweep(
+        self,
+        start: int,
+        adjacency: Dict[int, Set[int]],
+        labels: Dict[int, Set[int]],
+        patch: Set[int],
+        budget: int,
+    ) -> bool:
+        """Union *patch* into ``labels`` across *start*'s whole cone."""
+        seen: Set[int] = {start}
+        queue: deque = deque((start,))
+        visited = 0
+        while queue:
+            s = queue.popleft()
+            visited += 1
+            if visited > budget:
+                return False  # cone too large: cheaper to rebuild
+            target = labels[s]
+            before = len(target)
+            target |= patch
+            target.discard(s)  # self-hubs are implicit at query time
+            self.repaired_entries += len(target) - before
+            for t in sorted(adjacency[s]):
+                if t not in seen:
+                    seen.add(t)
+                    queue.append(t)
+        return True
+
+    # ------------------------------------------------------------------
+    # Persistence (repro.store catalog variant)
+    # ------------------------------------------------------------------
+    def to_arrays(self, node_order: List[Node]) -> Dict[str, List[int]]:
+        """Flatten the index into named integer arrays for the catalog.
+
+        *node_order* must enumerate the indexed graph's nodes in its
+        canonical order (for ``Gr`` that is ``range(|Gr|)``); per-node
+        maps are aligned to it, and edges are encoded as index pairs into
+        it, so arbitrary node ids never need encoding.
+        """
+        position = {v: i for i, v in enumerate(node_order)}
+        if len(position) != len(self._scc_of) or any(
+            v not in self._scc_of for v in position
+        ):
+            raise ValueError("node_order does not enumerate the indexed graph")
+        out_indptr, out_hubs = self._flatten_labels(self._label_out)
+        in_indptr, in_hubs = self._flatten_labels(self._label_in)
+        return {
+            "tol_meta": [self._ncomp, self._built_entries, int(self._dag)],
+            "tol_comp": [self._scc_of[v] for v in node_order],
+            "tol_out_indptr": out_indptr,
+            "tol_out_hubs": out_hubs,
+            "tol_in_indptr": in_indptr,
+            "tol_in_hubs": in_hubs,
+            "tol_edges": [
+                position[x] for e in sorted(self._edges, key=repr) for x in e
+            ],
+        }
+
+    def _flatten_labels(
+        self, labels: Dict[int, Set[int]]
+    ) -> Tuple[List[int], List[int]]:
+        indptr = [0]
+        hubs: List[int] = []
+        for c in range(self._ncomp):
+            hubs.extend(sorted(labels[c]))
+            indptr.append(len(hubs))
+        return indptr, hubs
+
+    @classmethod
+    def from_arrays(
+        cls, node_order: List[Node], arrays: Dict[str, List[int]]
+    ) -> "TOLIndex":
+        """Rehydrate an index persisted with :meth:`to_arrays`.
+
+        Zero recomputation: labels, adjacency and counters all come off
+        the arrays.  Raises ``ValueError`` when the arrays do not fit
+        *node_order* or are internally inconsistent — the catalog treats
+        that as a corrupt variant and recomputes.
+        """
+        ncomp, built_entries, dag_flag = arrays["tol_meta"]
+        comp = arrays["tol_comp"]
+        if len(comp) != len(node_order):
+            raise ValueError("persisted arrays do not match the node count")
+        if comp and (min(comp) < 0 or max(comp) >= ncomp):
+            raise ValueError("persisted component ids out of range")
+        flat_edges = arrays["tol_edges"]
+        if len(flat_edges) % 2:
+            raise ValueError("persisted edge array has odd length")
+        n = len(node_order)
+        if flat_edges and (min(flat_edges) < 0 or max(flat_edges) >= n):
+            raise ValueError("persisted edge endpoints out of range")
+        self = cls.__new__(cls)
+        self.rebuild_ratio = 1.0
+        scc_of = dict(zip(node_order, comp))
+        edges = [
+            (node_order[flat_edges[i]], node_order[flat_edges[i + 1]])
+            for i in range(0, len(flat_edges), 2)
+        ]
+        comp_edges = [(scc_of[u], scc_of[v]) for u, v in edges]
+        self._init_state(scc_of, ncomp, edges, comp_edges)
+        self._dag = bool(dag_flag) and self._dag
+        for side, labels in (("out", self._label_out), ("in", self._label_in)):
+            indptr = arrays[f"tol_{side}_indptr"]
+            hubs = arrays[f"tol_{side}_hubs"]
+            if len(indptr) != ncomp + 1 or indptr[0] != 0 or indptr[-1] != len(hubs):
+                raise ValueError(f"persisted {side}-label offsets are inconsistent")
+            if hubs and (min(hubs) < 0 or max(hubs) >= ncomp):
+                raise ValueError(f"persisted {side}-label hubs out of range")
+            for c in range(ncomp):
+                labels[c] = set(hubs[indptr[c]: indptr[c + 1]])
+        self._built_entries = built_entries
+        self.repairs = 0
+        self.repaired_entries = 0
+        return self
+
+    def canonical_form(self) -> Tuple:
+        """Fully-ordered rendering, for byte-stability comparisons.
+
+        Two builds over the same graph (any hash seed) compare equal; the
+        cross-``PYTHONHASHSEED`` subprocess test pins exactly this.
+        """
+        return (
+            self._ncomp,
+            tuple(sorted(((repr(v), c) for v, c in self._scc_of.items()))),
+            tuple(
+                tuple(sorted(self._label_out[c])) for c in range(self._ncomp)
+            ),
+            tuple(
+                tuple(sorted(self._label_in[c])) for c in range(self._ncomp)
+            ),
+            tuple(sorted(self._edges, key=repr)),
+        )
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def entry_count(self) -> int:
+        """Total number of label entries — the index-size metric."""
+        return sum(len(s) for s in self._label_out.values()) + sum(
+            len(s) for s in self._label_in.values()
+        )
+
+    def memory_cost(self) -> int:
+        """Approximate bytes: entries + per-node bookkeeping (8B words)."""
+        return 8 * (self.entry_count() + 2 * self._ncomp + 2 * len(self._edges))
+
+    def stats(self) -> Dict[str, Union[int, float]]:
+        """Size and staleness counters (the obs/bench surface)."""
+        entries = self.entry_count()
+        return {
+            "comps": self._ncomp,
+            "entries": entries,
+            "avg_entries": entries / max(1, self._ncomp),
+            "built_entries": self._built_entries,
+            "repairs": self.repairs,
+            "repaired_entries": self.repaired_entries,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TOLIndex(comps={self._ncomp}, entries={self.entry_count()}, "
+            f"repairs={self.repairs})"
+        )
+
+
+def refresh_index(index: TOLIndex, graph: Union[DiGraph, CSRGraph]) -> Optional[bool]:
+    """Patch *index* to match *graph*'s current shape; ``None`` = no change.
+
+    Diffs the indexed node/edge sets against *graph* and routes the delta:
+
+    * identical shape → ``None`` (nothing to do);
+    * insert-only delta → :meth:`TOLIndex.apply_delta` (``True`` when the
+      bounded repair succeeded, ``False`` when the caller must rebuild);
+    * any removal → ``False`` immediately (labels cannot forget).
+    """
+    if isinstance(graph, CSRGraph):
+        new_nodes: Set[Node] = set(graph.node_order())
+        node_of = graph.node_of
+        new_edges: Set[Edge] = {
+            (node_of(i), node_of(j))
+            for i in range(graph.n)
+            for j in graph.successors(i)
+        }
+    else:
+        new_nodes = set(graph.nodes())
+        new_edges = set(graph.edges())
+    old_nodes = index.nodes()
+    old_edges = index.edges()
+    if old_nodes == new_nodes and old_edges == new_edges:
+        return None
+    if not (old_nodes <= new_nodes) or not (old_edges <= new_edges):
+        return False
+    return index.apply_delta(new_nodes - old_nodes, new_edges - old_edges)

@@ -318,6 +318,19 @@ SCHEMA: Dict[str, Tuple[str, str, Labels, Optional[Tuple[float, ...]]]] = {
     "executor_prefork_failures_total": (
         "counter", "Background pool pre-forks that failed (retried on submit).",
         (), None),
+    # index/tol — the reachability label index over Gr
+    "tol_build_seconds": (
+        "histogram", "TOL label construction time (full builds).", (), LATENCY_BUCKETS),
+    "tol_lookups_total": (
+        "counter", "Reachability lookups answered from TOL labels.", (), None),
+    "tol_repairs_total": (
+        "counter", "Edge inserts repaired in place by label patching.", (), None),
+    "tol_rebuilds_total": (
+        "counter", "Full label rebuilds forced by unrepairable deltas.", (), None),
+    "tol_fallbacks_total": (
+        "counter",
+        "Reachability served without TOL by reason (build|breaker|error).",
+        ("reason",), None),
     # faults
     "breaker_transitions_total": (
         "counter", "Circuit-breaker state transitions.", ("key", "to"), None),

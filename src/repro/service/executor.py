@@ -726,6 +726,10 @@ class _ForkPool:
                     self._epoch.artifact(key)
                 except RepresentationUnavailable:
                     pass
+            # TOL labels too: built once here, the sealed index is shared
+            # copy-on-write by every child (a degraded build just leaves
+            # children answering reachability by BFS on Gr).
+            self._epoch.context_for("reachability")
             for key in ("pattern", "original"):
                 try:
                     ctx = self._epoch.context_for(key)

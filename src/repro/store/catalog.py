@@ -11,6 +11,7 @@ A :class:`SnapshotCatalog` is a directory of content-addressed entries:
         variants/
           reachability.rpv      compressR artifact (Gr + class/SCC maps)
           bisimulation.rpv      compressB artifact (Gb + block map)
+          tol.rpv               TOL reachability labels over Gr
 
 ``put`` freezes and stores a graph once; ``reachability`` / ``bisimulation``
 return the paper's compression artifacts, computing and persisting them on
@@ -40,6 +41,7 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.core.pattern import PatternCompression, compress_pattern_csr
 from repro.faults.plan import fault_data, fault_point
 from repro.core.reachability import ReachabilityCompression, compress_reachability_csr
+from repro.index.tol import TOLIndex
 from repro.obs.metrics import inc as obs_inc
 from repro.obs.metrics import metrics_on, observe as obs_observe
 from repro.obs.trace import trace_span
@@ -822,11 +824,52 @@ class SnapshotCatalog:
                 self._write_variant(path, digest, comp.to_arrays(csr.node_order()))
             return comp
 
+    def tol(self, source: GraphSource) -> TOLIndex:
+        """TOL reachability labels over ``Gr`` for *source* — cached.
+
+        Warm hit: label sets, condensation map and adjacency all
+        rehydrate from the variant file with zero recomputation.  Cold
+        miss: ``Gr`` comes through :meth:`reachability` (itself warm when
+        its variant exists), the labels are built over it, persisted,
+        returned.  The persisted arrays are aligned to ``Gr``'s canonical
+        class ids, so a rehydrated index answers byte-identically to a
+        cold build — but only for *canonical* artifacts: callers serving
+        an incrementally-maintained ``Gr`` must build their index from
+        that artifact directly, not from here.
+        """
+        digest = self._resolve(source)
+        path = self._variant_path(digest, "tol")
+        with trace_span("catalog.variant", kind="tol") as span:
+            arrays, writable = self._read_variant(path, digest)
+            if arrays is not None:
+                gr = self.reachability(digest).compressed
+                order = sorted(gr.nodes())
+                try:
+                    index = TOLIndex.from_arrays(order, arrays)
+                except (KeyError, ValueError, IndexError):
+                    pass  # malformed arrays from a buggy writer: recompute
+                else:
+                    span.set(result="warm")
+                    obs_inc("catalog_variant_requests_total", ("tol", "warm"))
+                    return index
+            span.set(result="cold")
+            obs_inc("catalog_variant_requests_total", ("tol", "cold"))
+            t0 = time.perf_counter()
+            gr = self.reachability(digest).compressed
+            index = TOLIndex(gr, backend="csr")
+            obs_observe("catalog_variant_build_seconds",
+                        time.perf_counter() - t0, ("tol",))
+            if writable:
+                self._write_variant(path, digest,
+                                    index.to_arrays(sorted(gr.nodes())))
+            return index
+
     def warm(self, source: GraphSource) -> str:
         """Precompute and persist every variant of *source*; returns digest."""
         digest = self._resolve(source)
         self.reachability(digest)
         self.bisimulation(digest)
+        self.tol(digest)
         return digest
 
     # ------------------------------------------------------------------
