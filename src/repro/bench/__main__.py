@@ -4,16 +4,28 @@
 paper's tables/figures and the repo-internal benchmarks;
 ``python -m repro.bench check --baseline <dir>`` compares the current
 ``BENCH_*.json`` files against committed baselines (the CI
-benchmark-regression gate, runnable locally).
+benchmark-regression gate, runnable locally);
+``python -m repro.bench trend`` renders the persistent run-to-run ratio
+history that both of the above append to
+(``benchmarks/history/history.jsonl`` — see :mod:`repro.bench.history`).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 
 from repro.bench.harness import available, run_experiment
+from repro.bench.history import (
+    DEFAULT_HISTORY,
+    append_payload,
+    load_history,
+    render_trend,
+    result_payload,
+)
 
 
 def _run_check(argv) -> int:
@@ -33,6 +45,15 @@ def _run_check(argv) -> int:
         "--tolerance", type=float, default=0.5,
         help="allowed fractional ratio drop before failing (default: 0.5)",
     )
+    parser.add_argument(
+        "--history", default=str(DEFAULT_HISTORY),
+        help="bench history JSONL to read trends from and append this "
+             "run's ratios to (default: benchmarks/history/history.jsonl)",
+    )
+    parser.add_argument(
+        "--no-history", action="store_true",
+        help="neither read nor append the bench history",
+    )
     args = parser.parse_args(argv)
     if not 0.0 <= args.tolerance < 1.0:
         parser.error(
@@ -42,19 +63,60 @@ def _run_check(argv) -> int:
 
     from repro.bench.regression import check_against_baselines
 
+    history = None if args.no_history else load_history(args.history)
     ok, lines = check_against_baselines(
-        args.baseline, args.current, tolerance=args.tolerance
+        args.baseline, args.current, tolerance=args.tolerance,
+        history=history,
     )
     for line in lines:
         print(line)
+    if not args.no_history:
+        appended = 0
+        for path in sorted(Path(args.current).glob("BENCH_*.json")):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                continue
+            if append_payload(payload, "check", args.history) is not None:
+                appended += 1
+        if appended:
+            print(f"history: {appended} experiment(s) appended "
+                  f"to {args.history}")
     print("benchmark regression check:", "PASS" if ok else "FAIL")
     return 0 if ok else 1
+
+
+def _run_trend(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench trend",
+        description="Render the persistent bench-ratio trajectory.",
+    )
+    parser.add_argument(
+        "--history", default=str(DEFAULT_HISTORY),
+        help="bench history JSONL (default: benchmarks/history/history.jsonl)",
+    )
+    parser.add_argument(
+        "--experiment", default=None,
+        help="restrict to one experiment id (default: all)",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=10,
+        help="most recent values shown per ratio (default: 10)",
+    )
+    args = parser.parse_args(argv)
+    records = load_history(args.history)
+    for line in render_trend(records, experiment=args.experiment,
+                             limit=args.limit):
+        print(line)
+    return 0
 
 
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "check":
         return _run_check(argv[1:])
+    if argv and argv[0] == "trend":
+        return _run_trend(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -86,6 +148,7 @@ def main(argv=None) -> int:
         elapsed = time.perf_counter() - start
         print(result.to_text())
         print(f"({elapsed:.1f}s)\n")
+        append_payload(result_payload(result), "run")
         if not result.passed():
             exit_code = 1
     return exit_code

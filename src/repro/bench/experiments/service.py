@@ -49,6 +49,8 @@ from repro.queries.reachability import ReachabilityQuery
 from repro.service import EngineService, QueryExecutor, freeze_answer, run_stress
 
 JSON_PATH = "BENCH_service.json"
+#: Folded-stack (flamegraph) artifact from the profiler-overhead section.
+PROFILE_PATH = "PROFILE_service.folded"
 
 
 def _warm_epoch(service: EngineService) -> None:
@@ -160,12 +162,21 @@ def run(quick: bool = True) -> ExperimentResult:
             best_speedup = max(best_speedup, speedup)
             if workers >= 4:
                 speedup_4 = max(speedup_4, speedup)
-            rows.append({
+            row = {
                 "graph": largest_name, "mode": mode, "workers": workers,
                 "queries": len(workload), "wall ms": round(elapsed * 1e3, 1),
                 "qps": round(len(workload) / elapsed, 1),
                 "speedup": round(speedup, 2),
-            })
+            }
+            # Tracked known-issues carry their marker in the payload too,
+            # so a reader of BENCH_service.json alone sees the row is
+            # reported-not-gated (the registry holds the why).
+            from repro.bench.regression import EXPECTED_REGRESSIONS
+
+            if ("service", (largest_name, mode, workers),
+                    "speedup") in EXPECTED_REGRESSIONS:
+                row["expected_regression"] = True
+            rows.append(row)
 
     # -- fault-point instrumentation overhead ---------------------------
     # The robustness layer (repro.faults) compiles named fault points into
@@ -257,6 +268,40 @@ def run(quick: bool = True) -> ExperimentResult:
         "graph": largest_name, "mode": "tol-serving", "workers": 1,
         "queries": int(tol_lookups), "wall ms": float("nan"),
         "qps": float("nan"), "speedup": float("nan"),
+    })
+
+    # -- sampling-profiler overhead + folded-stack artifact --------------
+    # The /profile endpoint's cost model: the same interleaved min-of-N
+    # methodology, tracer installed on both sides (isolating the ticker's
+    # cost from plain obs overhead), profiler sampling at its default
+    # 5 ms on the live side.  The folded-stack output — span-attributed,
+    # since the tracer is live — is written as a flamegraph artifact.
+    from repro.obs.profile import SamplingProfiler
+
+    profiler = SamplingProfiler(0.005, tracer=obs_tracer)
+    prof_bare_times: List[float] = []
+    prof_live_times: List[float] = []
+    for _ in range(reps):
+        with installed(obs_registry), tracing(obs_tracer):
+            prof_bare_times.append(_exec_run()[0])
+            with profiler:
+                t_run, run_answers = _exec_run()
+            prof_live_times.append(t_run)
+        identical &= [freeze_answer(a) for a in run_answers] == frozen_serial
+    t_prof_bare = min(prof_bare_times)
+    t_prof_live = min(prof_live_times)
+    prof_overhead = t_prof_live / t_prof_bare if t_prof_bare else float("inf")
+    span_samples = sum(
+        count for stack, count in profiler.samples().items()
+        if any(part.startswith("span:") for part in stack)
+    )
+    with open(PROFILE_PATH, "w") as fh:
+        fh.write(profiler.to_folded())
+    rows.append({
+        "graph": largest_name, "mode": "profiler-sampling", "workers": 1,
+        "queries": len(workload), "wall ms": round(t_prof_live * 1e3, 1),
+        "qps": round(len(workload) / t_prof_live, 1),
+        "speedup": round(t_serial / t_prof_live, 2) if t_prof_live else 0.0,
     })
     service.close()
 
@@ -355,6 +400,19 @@ def run(quick: bool = True) -> ExperimentResult:
             False,
         ),
         (
+            f"sampling-profiler overhead < 5% while sampling at 5ms "
+            f"({prof_overhead:.3f}x the tracer-installed bare run)",
+            prof_overhead <= 1.05,
+            False,
+        ),
+        (
+            f"profiler captured cross-thread samples during the serving "
+            f"run ({profiler.sample_count} samples, {span_samples} "
+            f"span-attributed, {profiler.dropped_stacks} dropped)",
+            profiler.sample_count > 0,
+            True,
+        ),
+        (
             "per-class latency percentiles are ordered "
             "(p50 <= p95 <= p99, non-empty)",
             percentiles_ordered and bool(percentiles),
@@ -396,6 +454,17 @@ def run(quick: bool = True) -> ExperimentResult:
             "instrumented_ms": round(t_obs_live * 1e3, 1),
             "overhead": round(obs_overhead, 4),
             "reps": reps,
+        },
+        "profiler": {
+            "bare_ms": round(t_prof_bare * 1e3, 1),
+            "sampling_ms": round(t_prof_live * 1e3, 1),
+            "overhead": round(prof_overhead, 4),
+            "interval_s": profiler.interval_s,
+            "samples": profiler.sample_count,
+            "span_attributed_samples": span_samples,
+            "dropped_stacks": profiler.dropped_stacks,
+            "reps": reps,
+            "artifact": PROFILE_PATH,
         },
         "tol_serving": {
             "lookups": int(tol_lookups),

@@ -1,0 +1,220 @@
+"""Persistent bench history: every run's key ratios, appended forever.
+
+The regression gate (:mod:`repro.bench.regression`) answers "is this run
+acceptable vs the committed baseline?" — a two-point comparison.  This
+module keeps the *trajectory*: each benchmark run (``python -m
+repro.bench``) and each gate run (``python -m repro.bench check``)
+appends one JSON line per experiment to
+``benchmarks/history/history.jsonl``, so slow drifts that never trip the
+50% tolerance band in any single run are still visible across weeks of
+runs.  ``python -m repro.bench trend`` renders the series, and the gate's
+report lines gain a trend column when history is present.
+
+One record per experiment per run::
+
+    {"ts": "2026-08-08T12:00:00+00:00", "source": "run" | "check",
+     "experiment": "service",
+     "ratios": {"social/thread/4": {"speedup": 1.98}, ...},
+     "checks": {"passed": 11, "failed": 0},
+     "percentiles": {"reachability": 3.1, ...}}        # tail ratios
+
+Ratios are extracted with the same per-experiment spec the gate uses
+(:data:`repro.bench.regression.EXPERIMENT_RATIOS`), so the history and
+the gate always talk about the same numbers.  Appending is best-effort:
+a read-only checkout must never fail a bench run over bookkeeping.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.bench.regression import EXPERIMENT_RATIOS
+
+PathLike = Union[str, Path]
+
+#: Repo-relative default history file (CI uploads it as an artifact).
+DEFAULT_HISTORY = Path("benchmarks") / "history" / "history.jsonl"
+
+
+def _utc_now() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def _key_str(row: dict, fields: Tuple[str, ...]) -> str:
+    return "/".join(str(row.get(f)) for f in fields)
+
+
+def record_from_payload(
+    payload: dict, source: str, ts: Optional[str] = None
+) -> Optional[dict]:
+    """One history record from a ``BENCH_*.json``-shaped payload.
+
+    ``None`` for experiments without a ratio spec — the history tracks
+    gated ratios, not every table the bench regenerates.
+    """
+    experiment = payload.get("experiment")
+    spec = EXPERIMENT_RATIOS.get(experiment) if experiment else None
+    if spec is None:
+        return None
+    ratios: Dict[str, Dict[str, float]] = {}
+    for row in payload.get("rows", []):
+        entry = {}
+        for field in spec["ratios"]:
+            value = row.get(field)
+            if isinstance(value, (int, float)) and not isinstance(value, bool) \
+                    and value == value:
+                entry[field] = float(value)
+        if entry:
+            ratios[_key_str(row, spec["key"])] = entry
+    checks = payload.get("checks", [])
+    record: Dict[str, Any] = {
+        "ts": ts if ts is not None else _utc_now(),
+        "source": source,
+        "experiment": experiment,
+        "ratios": ratios,
+        "checks": {
+            "passed": sum(1 for c in checks if c.get("passed")),
+            "failed": sum(1 for c in checks if not c.get("passed")),
+        },
+    }
+    percentiles = payload.get("percentiles")
+    if isinstance(percentiles, dict):
+        tails = {
+            cls: float(entry["tail_ratio"])
+            for cls, entry in percentiles.items()
+            if isinstance(entry, dict)
+            and isinstance(entry.get("tail_ratio"), (int, float))
+        }
+        if tails:
+            record["percentiles"] = tails
+    return record
+
+
+def result_payload(result: Any) -> dict:
+    """Adapt an :class:`~repro.bench.harness.ExperimentResult` to the
+    payload shape (its ``checks`` are ``(description, passed)`` pairs)."""
+    return {
+        "experiment": result.experiment,
+        "rows": result.rows,
+        "checks": [
+            {"description": desc, "passed": ok} for desc, ok in result.checks
+        ],
+    }
+
+
+def append_record(record: dict, path: PathLike = DEFAULT_HISTORY) -> bool:
+    """Append one record; best-effort (False on any I/O failure)."""
+    path = Path(path)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+    except OSError:
+        return False
+    return True
+
+
+def append_payload(
+    payload: dict, source: str, path: PathLike = DEFAULT_HISTORY
+) -> Optional[dict]:
+    """Record *payload* into the history; the record, or ``None`` when the
+    experiment has no ratio spec or the write failed."""
+    record = record_from_payload(payload, source)
+    if record is None:
+        return None
+    return record if append_record(record, path) else None
+
+
+def load_history(path: PathLike = DEFAULT_HISTORY) -> List[dict]:
+    """All records, oldest first; malformed lines are skipped, a missing
+    file is an empty history."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    records: List[dict] = []
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict) and "experiment" in record:
+            records.append(record)
+    return records
+
+
+def ratio_series(
+    records: List[dict], experiment: str, key: str, field: str
+) -> List[float]:
+    """The historical values of one gated ratio, oldest first."""
+    out: List[float] = []
+    for record in records:
+        if record.get("experiment") != experiment:
+            continue
+        value = record.get("ratios", {}).get(key, {}).get(field)
+        if isinstance(value, (int, float)):
+            out.append(float(value))
+    return out
+
+
+def trend_cell(values: List[float], width: int = 4) -> str:
+    """A compact trend column for one ratio: the last *width* historical
+    values joined by arrows, e.g. ``0.21→0.20→0.18``.  Empty string with
+    no history (the gate line stays unchanged)."""
+    if not values:
+        return ""
+    tail = values[-width:]
+    return "→".join(f"{v:.2f}" for v in tail)
+
+
+def render_trend(
+    records: List[dict],
+    experiment: Optional[str] = None,
+    limit: int = 10,
+) -> List[str]:
+    """Human-readable trajectory lines, one per tracked ratio.
+
+    Groups the history by ``(experiment, row key, ratio field)`` and
+    shows the last *limit* values with the overall drift since the first
+    recorded run.
+    """
+    if not records:
+        return ["history is empty — run `python -m repro.bench` or "
+                "`python -m repro.bench check` to start recording"]
+    series: Dict[Tuple[str, str, str], List[float]] = {}
+    for record in records:
+        exp = record.get("experiment", "?")
+        if experiment is not None and exp != experiment:
+            continue
+        for key, fields in record.get("ratios", {}).items():
+            for field, value in fields.items():
+                if isinstance(value, (int, float)):
+                    series.setdefault((exp, key, field), []).append(float(value))
+    if not series:
+        return [f"no history records for experiment {experiment!r}"]
+    per_experiment: Dict[str, int] = {}
+    for record in records:
+        exp = record.get("experiment", "?")
+        if experiment is None or exp == experiment:
+            per_experiment[exp] = per_experiment.get(exp, 0) + 1
+    runs = max(per_experiment.values(), default=0)
+    lines = [f"bench history: {runs} recorded run(s), "
+             f"{len(series)} tracked ratio(s)"]
+    for (exp, key, field), values in sorted(series.items()):
+        shown = values[-limit:]
+        path = " → ".join(f"{v:.3g}" for v in shown)
+        drift = ""
+        if len(values) >= 2 and values[0] != 0:
+            pct = (values[-1] - values[0]) / abs(values[0]) * 100.0
+            drift = f"  ({pct:+.1f}% since first)"
+        lines.append(f"[{exp}] {key} {field}: {path}{drift}")
+    return lines

@@ -8,8 +8,16 @@ site) until explicitly installed:
 * :mod:`repro.obs.trace` — per-query spans (route → build → dispatch →
   answer-map) exported as JSON-lines, with a slow-query log.
 
-See ``src/repro/obs/README.md`` for the metric catalogue, span schema
-and exposition format.
+Two live-ops facilities build on them:
+
+* :mod:`repro.obs.profile` — an on-demand cross-thread sampling profiler
+  whose samples are attributed to the ambient span stack;
+* :mod:`repro.obs.serve` — a stdlib-only HTTP introspection server
+  (``/metrics``, ``/health``, ``/epochs``, ``/slow``, ``/traces``,
+  ``/profile``) mountable by a service or harness.
+
+See ``src/repro/obs/README.md`` for the metric catalogue, span schema,
+exposition format and endpoint catalogue.
 """
 
 from repro.obs.metrics import (
@@ -29,7 +37,10 @@ from repro.obs.metrics import (
     set_gauge,
     uninstall_registry,
 )
+from repro.obs.profile import SamplingProfiler
+from repro.obs.serve import METRICS_CONTENT_TYPE, ObsHTTPServer
 from repro.obs.trace import (
+    DEFAULT_MAX_SPANS,
     Span,
     Tracer,
     attach,
@@ -45,12 +56,16 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "DEFAULT_MAX_SPANS",
     "LATENCY_BUCKETS",
+    "METRICS_CONTENT_TYPE",
     "SIZE_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ObsHTTPServer",
+    "SamplingProfiler",
     "Span",
     "Tracer",
     "attach",

@@ -334,6 +334,16 @@ SCHEMA: Dict[str, Tuple[str, str, Labels, Optional[Tuple[float, ...]]]] = {
     # faults
     "breaker_transitions_total": (
         "counter", "Circuit-breaker state transitions.", ("key", "to"), None),
+    # obs itself — the tracer's retention cap and the live-ops surface
+    "trace_spans_dropped_total": (
+        "counter",
+        "Finished spans dropped because the tracer's retention cap was full.",
+        (), None),
+    "obs_http_requests_total": (
+        "counter", "Introspection-endpoint requests by path and status.",
+        ("endpoint", "status"), None),
+    "profile_samples_total": (
+        "counter", "Stack samples captured by the sampling profiler.", (), None),
 }
 
 
@@ -503,10 +513,17 @@ class MetricsRegistry:
 
     # -- exposition ------------------------------------------------------
     def render(self) -> str:
-        """Prometheus text exposition of every series."""
+        """Prometheus text exposition of every series.
+
+        Conformance notes (pinned by the golden-file test): HELP precedes
+        TYPE for every family, label values escape ``\\``/``"``/newlines,
+        histogram buckets are cumulative with an explicit ``+Inf`` equal
+        to ``_count``, and every histogram series carries ``_sum`` and
+        ``_count``.
+        """
         lines: List[str] = []
         for metric in self.metrics():
-            lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
             lines.append(f"# TYPE {metric.name} {metric.kind}")
             if isinstance(metric, (Counter, Gauge)):
                 for labels, value in sorted(metric.values().items()):
@@ -546,10 +563,27 @@ def _fmt(value: float) -> str:
     return repr(value)
 
 
+def _escape_help(text: str) -> str:
+    """HELP-line escaping per the text exposition format."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    """Label-value escaping: backslash, double quote, newline."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _label_str(names: Labels, values: Labels) -> str:
     if not names:
         return ""
-    pairs = ",".join(f'{n}="{v}"' for n, v in zip(names, values))
+    pairs = ",".join(
+        f'{n}="{_escape_label_value(v)}"' for n, v in zip(names, values)
+    )
     return "{" + pairs + "}"
 
 

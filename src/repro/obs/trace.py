@@ -62,11 +62,14 @@ _ALL_TRACERS: "weakref.WeakSet[Tracer]" = weakref.WeakSet()
 def _rearm_after_fork() -> None:  # pragma: no cover - fork plumbing
     # A forked child shares the parent's counter state; its pid prefix
     # already disambiguates, but re-arming the locks avoids inheriting a
-    # lock held mid-acquire at fork time.
+    # lock held mid-acquire at fork time.  Ambient name stacks belong to
+    # parent threads that do not exist in the child — drop them so the
+    # profiler never attributes child samples to a dead thread's spans.
     global _ids_lock
     _ids_lock = threading.Lock()
     for tracer in list(_ALL_TRACERS):
         tracer._lock = threading.Lock()
+        tracer._name_stacks = {}
 
 
 if hasattr(os, "register_at_fork"):
@@ -113,16 +116,44 @@ class Span:
 class _Ambient(threading.local):
     def __init__(self) -> None:
         self.stack: List[TraceContext] = []
+        #: Span names parallel to ``stack`` (``None`` for adopted contexts
+        #: pushed by :func:`attach`, whose span name lives elsewhere).
+        self.names: List[Optional[str]] = []
+
+
+#: Default hard cap on retained finished spans per tracer.  A long-lived
+#: server cannot grow without bound; overflow drops (counted) rather than
+#: evicting — the head of a window is what a drained exporter expects.
+DEFAULT_MAX_SPANS = 20_000
 
 
 class Tracer:
-    """Collects finished spans; thread-safe; fork-merge friendly."""
+    """Collects finished spans; thread-safe; fork-merge friendly.
 
-    def __init__(self, slow_threshold_s: float = 0.05) -> None:
+    Retention is bounded: at most *max_spans* finished spans are held
+    between :meth:`drain` calls; spans past the cap are dropped and
+    counted (:attr:`dropped_spans`, plus the ``trace_spans_dropped_total``
+    metric when a registry is installed), so a long-lived server's tracer
+    cannot grow without limit.  The slow-query log is a view over the
+    same buffer, so the cap bounds it too.
+    """
+
+    def __init__(self, slow_threshold_s: float = 0.05,
+                 max_spans: int = DEFAULT_MAX_SPANS) -> None:
+        if max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
         self._lock = threading.Lock()
         self._spans: List[Dict[str, Any]] = []
         self._ambient = _Ambient()
         self.slow_threshold_s = slow_threshold_s
+        self.max_spans = max_spans
+        self._dropped = 0
+        #: thread ident -> that thread's live ambient *names* list (the
+        #: same object the thread mutates).  Registered on a thread's
+        #: first push, dropped when its stack empties, and read by the
+        #: sampling profiler to attribute stack samples to engine phases.
+        #: Plain dict ops under the GIL; sampled reads tolerate staleness.
+        self._name_stacks: Dict[int, List[Optional[str]]] = {}
         _ALL_TRACERS.add(self)
 
     # -- ambient context (thread-local) ----------------------------------
@@ -130,11 +161,37 @@ class Tracer:
         stack = self._ambient.stack
         return stack[-1] if stack else None
 
-    def _push(self, ctx: TraceContext) -> None:
-        self._ambient.stack.append(ctx)
+    def _push(self, ctx: TraceContext, name: Optional[str] = None) -> None:
+        ambient = self._ambient
+        if not ambient.stack:
+            self._name_stacks[threading.get_ident()] = ambient.names
+        ambient.stack.append(ctx)
+        ambient.names.append(name)
 
     def _pop(self) -> None:
-        self._ambient.stack.pop()
+        ambient = self._ambient
+        ambient.stack.pop()
+        ambient.names.pop()
+        if not ambient.stack:
+            self._name_stacks.pop(threading.get_ident(), None)
+
+    def span_name_stacks(self) -> Dict[int, Tuple[str, ...]]:
+        """Per-thread ambient span-name stacks, outermost first.
+
+        The profiler's attribution source: a snapshot of which named
+        spans each traced thread is currently inside.  Unnamed entries
+        (adopted contexts) are skipped; threads with no open span are
+        omitted.  Racy by design — sampling tolerates a one-frame skew.
+        """
+        out: Dict[int, Tuple[str, ...]] = {}
+        for ident in list(self._name_stacks.keys()):
+            names = self._name_stacks.get(ident)
+            if not names:
+                continue
+            stack = tuple(n for n in list(names) if n is not None)
+            if stack:
+                out[ident] = stack
+        return out
 
     # -- span lifecycle --------------------------------------------------
     def start_span(self, name: str,
@@ -151,8 +208,29 @@ class Tracer:
 
     def finish(self, span: Span, end: Optional[float] = None) -> None:
         span.end = end if end is not None else time.perf_counter()
+        self._retain([span.to_dict()])
+
+    def _retain(self, spans: List[Dict[str, Any]]) -> None:
+        """Append finished spans, honouring the retention cap."""
+        dropped = 0
         with self._lock:
-            self._spans.append(span.to_dict())
+            room = self.max_spans - len(self._spans)
+            if room >= len(spans):
+                self._spans.extend(spans)
+            else:
+                if room > 0:
+                    self._spans.extend(spans[:room])
+                dropped = len(spans) - max(room, 0)
+                self._dropped += dropped
+        if dropped:
+            from repro.obs.metrics import inc as _obs_inc
+            _obs_inc("trace_spans_dropped_total", n=dropped)
+
+    @property
+    def dropped_spans(self) -> int:
+        """Finished spans dropped at the retention cap since construction
+        (or the last :meth:`clear`)."""
+        return self._dropped
 
     def record_span(self, name: str, start: float, end: float,
                     parent: Optional[TraceContext] = None,
@@ -177,13 +255,12 @@ class Tracer:
             return out
 
     def add_spans(self, spans: Iterable[Dict[str, Any]]) -> None:
-        spans = list(spans)
-        with self._lock:
-            self._spans.extend(spans)
+        self._retain(list(spans))
 
     def clear(self) -> None:
         with self._lock:
             self._spans.clear()
+            self._dropped = 0
 
     # -- slow-query log --------------------------------------------------
     def slow_queries(self, threshold_s: Optional[float] = None,
@@ -310,7 +387,7 @@ class _LiveSpan:
     def __enter__(self) -> "_LiveSpan":
         span = self._tracer.start_span(self._name, self._parent, self._attrs)
         self._span = span
-        self._tracer._push((span.trace_id, span.span_id))
+        self._tracer._push((span.trace_id, span.span_id), self._name)
         return self
 
     def __exit__(self, exc_type: Any, *exc_info: Any) -> None:

@@ -1,6 +1,6 @@
 """``python -m repro.service`` — serving-stack maintenance commands.
 
-Two subcommands:
+Three subcommands:
 
 ``chaos``
     Run the seeded chaos harness (:func:`repro.service.epoch_stress
@@ -19,20 +19,38 @@ Two subcommands:
     stays scrape-clean).  The quickest way to see what the serving
     stack actually measures — see ``src/repro/obs/README.md`` for the
     metric catalogue.
+
+``serve-obs``
+    Stand up a live :class:`~repro.service.front.EngineService` with the
+    HTTP introspection endpoint mounted (``/metrics``, ``/health``,
+    ``/epochs``, ``/slow``, ``/traces``, ``/profile`` — see
+    ``src/repro/obs/README.md``) and keep it under a light self-traffic
+    loop so every endpoint has live data.  The bound URL is the first
+    stdout line; runs until ``--duration`` elapses or Ctrl-C.  Binds
+    localhost by default — the endpoint is unauthenticated.
+
+Both ``chaos`` and ``metrics`` accept ``--obs-port`` to mount the same
+introspection endpoint (registry + tracer, no service) for the duration
+of the run, so a live stress round can be scraped mid-flight.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import random
 import sys
 import tempfile
+import time
 from typing import Any, Dict, List, Optional
 
 from repro.graph.generators import attach_equivalent_leaves, gnm_random_graph
 from repro.obs.metrics import MetricsRegistry, installed
+from repro.obs.serve import ObsHTTPServer
 from repro.obs.trace import Tracer, tracing, write_jsonl
-from repro.service.epoch_stress import run_chaos, run_stress
+from repro.service.epoch_stress import build_schedule, run_chaos, run_stress
+from repro.service.executor import QueryExecutor
+from repro.service.front import EngineService
 
 
 def _make_graph(args: argparse.Namespace) -> Any:
@@ -45,6 +63,17 @@ def _make_graph(args: argparse.Namespace) -> Any:
     return graph
 
 
+def _mount_obs(args: argparse.Namespace) -> Optional[ObsHTTPServer]:
+    """Start a standalone introspection endpoint when ``--obs-port`` was
+    given (``0`` = OS-assigned); caller stops it."""
+    if getattr(args, "obs_port", None) is None:
+        return None
+    server = ObsHTTPServer(args.obs_host, args.obs_port)
+    server.start()
+    print(f"obs endpoints on {server.url}", file=sys.stderr, flush=True)
+    return server
+
+
 def _chaos(args: argparse.Namespace) -> int:
     graph = _make_graph(args)
     registry = MetricsRegistry()
@@ -52,6 +81,7 @@ def _chaos(args: argparse.Namespace) -> int:
     reports: List[Dict[str, Any]] = []
     violations = 0
     with installed(registry), tracing(tracer):
+        obs_server = _mount_obs(args)
         for seed in args.seeds:
             report = run_chaos(
                 graph,
@@ -81,6 +111,8 @@ def _chaos(args: argparse.Namespace) -> int:
                 f"quarantined={len(report['quarantined'])} "
                 f"-> {'OK' if ok else 'VIOLATION'}"
             )
+        if obs_server is not None:
+            obs_server.stop()
     payload = {
         "mode": args.mode,
         "workers": args.workers,
@@ -108,6 +140,7 @@ def _metrics(args: argparse.Namespace) -> int:
     registry = MetricsRegistry()
     tracer = Tracer(slow_threshold_s=args.slow_ms / 1e3)
     with installed(registry), tracing(tracer):
+        obs_server = _mount_obs(args)
         report = run_stress(
             graph,
             readers=args.readers,
@@ -117,6 +150,8 @@ def _metrics(args: argparse.Namespace) -> int:
             seed=args.seed,
             catalog_dir=tempfile.mkdtemp(prefix="repro-metrics-"),
         )
+        if obs_server is not None:
+            obs_server.stop()
     sys.stdout.write(registry.render())
     print(
         f"stress: queries={report['queries']} "
@@ -142,6 +177,71 @@ def _metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_obs(args: argparse.Namespace) -> int:
+    """A live service with the introspection endpoint mounted, kept warm
+    by a light self-traffic loop (queries + periodic publications) so
+    ``/metrics``, ``/epochs`` and the slow-query log all have data."""
+    graph = _make_graph(args)
+    registry = MetricsRegistry()
+    tracer = Tracer(slow_threshold_s=args.slow_ms / 1e3)
+    batches, pool = build_schedule(
+        graph, writer_batches=8, batch_size=6, seed=args.seed
+    )
+    rng = random.Random(args.seed)
+    with installed(registry), tracing(tracer):
+        server = ObsHTTPServer(args.host, args.port)
+        service = EngineService(graph.copy(), backend="csr", obs_http=server)
+        executor = (
+            QueryExecutor(service, args.workers, mode="thread", max_batch=8)
+            if args.workers else None
+        )
+        if executor is not None:
+            server.attach_executor(executor)
+        print(f"obs endpoints on {server.url}", flush=True)
+        deadline = (
+            time.monotonic() + args.duration if args.duration > 0 else None
+        )
+        issued = 0
+        next_batch = 0
+        try:
+            while deadline is None or time.monotonic() < deadline:
+                if args.no_traffic:
+                    time.sleep(0.1)
+                    continue
+                query = pool[rng.randrange(len(pool))]
+                try:
+                    if executor is not None:
+                        executor.submit(query).result(timeout=30.0)
+                    else:
+                        service.query(query)
+                except Exception as exc:  # noqa: BLE001 - keep serving
+                    print(f"traffic query failed: {type(exc).__name__}: {exc}",
+                          file=sys.stderr)
+                issued += 1
+                # Publish a new epoch every so often: apply the schedule's
+                # batches once, then refreeze, so /epochs keeps moving.
+                if issued % 40 == 0:
+                    try:
+                        if next_batch < len(batches):
+                            service.apply(batches[next_batch])
+                            next_batch += 1
+                        else:
+                            service.refreeze()
+                    except Exception as exc:  # noqa: BLE001 - keep serving
+                        print(f"traffic publish failed: "
+                              f"{type(exc).__name__}: {exc}", file=sys.stderr)
+                time.sleep(args.traffic_interval_s)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=True)
+            service.close()  # stops the mounted server too
+    print(f"served {issued} self-traffic queries, "
+          f"{service.version + 1} epochs published", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.service",
@@ -162,6 +262,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     chaos.add_argument("--out", help="write the JSON report here")
     chaos.add_argument("--trace-out",
                        help="write every recorded span as JSONL here")
+    chaos.add_argument("--obs-port", type=int, default=None,
+                       help="mount the introspection endpoint on this port "
+                            "for the run (0 = OS-assigned)")
+    chaos.add_argument("--obs-host", default="127.0.0.1",
+                       help="introspection bind address (default localhost)")
     chaos.set_defaults(func=_chaos)
 
     metrics = sub.add_parser(
@@ -184,7 +289,40 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="max slow-query log entries printed")
     metrics.add_argument("--trace-out",
                          help="write every recorded span as JSONL here")
+    metrics.add_argument("--obs-port", type=int, default=None,
+                         help="mount the introspection endpoint on this port "
+                              "for the run (0 = OS-assigned)")
+    metrics.add_argument("--obs-host", default="127.0.0.1",
+                         help="introspection bind address (default localhost)")
     metrics.set_defaults(func=_metrics)
+
+    serve = sub.add_parser(
+        "serve-obs",
+        help="run a live service with the HTTP introspection endpoint",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default localhost; the endpoint "
+                            "is unauthenticated)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port (default 0 = OS-assigned; the bound "
+                            "URL is printed on stdout)")
+    serve.add_argument("--duration", type=float, default=0.0,
+                       help="seconds to serve (0 = until Ctrl-C)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="thread-mode executor workers (0 = direct "
+                            "service queries, no breaker on /health)")
+    serve.add_argument("--nodes", type=int, default=60)
+    serve.add_argument("--edges", type=int, default=170)
+    serve.add_argument("--graph-seed", type=int, default=11)
+    serve.add_argument("--seed", type=int, default=0,
+                       help="self-traffic schedule seed")
+    serve.add_argument("--slow-ms", type=float, default=5.0,
+                       help="slow-query log threshold (milliseconds)")
+    serve.add_argument("--no-traffic", action="store_true",
+                       help="serve idle (no self-traffic loop)")
+    serve.add_argument("--traffic-interval-s", type=float, default=0.01,
+                       help="pause between self-traffic queries")
+    serve.set_defaults(func=_serve_obs)
 
     args = parser.parse_args(argv)
     return int(args.func(args))

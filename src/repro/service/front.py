@@ -51,6 +51,7 @@ from repro.faults.plan import fault_point
 from repro.graph.digraph import DiGraph
 from repro.obs.metrics import inc as obs_inc
 from repro.obs.metrics import observe as obs_observe
+from repro.obs.serve import ObsHTTPServer
 from repro.obs.trace import trace_span
 from repro.service.errors import ApplyError
 from repro.store.format import SnapshotError
@@ -86,6 +87,13 @@ class EngineService:
         are byte-identical to eager epochs.  If the view cannot be opened
         (I/O trouble, quarantined entry) publication falls back to the
         eager snapshot — a counter records it, queries never notice.
+    obs_http:
+        An :class:`~repro.obs.serve.ObsHTTPServer` for this service to
+        lifecycle-manage: the service mounts itself on it, starts it
+        here, and stops it in :meth:`close`.  The server's ``/health``,
+        ``/ready`` and ``/epochs`` endpoints then introspect this
+        service live (localhost bind by default — see the serve module's
+        security note).
     """
 
     def __init__(
@@ -98,6 +106,7 @@ class EngineService:
         journal: bool = False,
         build_deadline_s: Optional[float] = None,
         mmap_epochs: bool = False,
+        obs_http: Optional[ObsHTTPServer] = None,
     ) -> None:
         if mmap_epochs and catalog is None:
             raise ValueError("mmap_epochs requires a catalog to serve views from")
@@ -128,6 +137,11 @@ class EngineService:
         self._current: Epoch = self._make_epoch(0)
         #: Retired epochs whose readers have not drained yet (diagnostics).
         self._draining: List[Epoch] = []
+        #: Mounted introspection server (started here, stopped in close).
+        self._obs_http = obs_http
+        if obs_http is not None:
+            obs_http.service = self
+            obs_http.start()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -145,6 +159,20 @@ class EngineService:
     def counters(self) -> Dict[str, int]:
         """The underlying engine's lifecycle counters."""
         return self._engine.counters
+
+    @property
+    def obs_http(self) -> Optional[ObsHTTPServer]:
+        """The introspection server this service lifecycle-manages."""
+        return self._obs_http
+
+    def catalog_lock_status(self) -> Optional[Dict[str, Any]]:
+        """The catalog writer-lock's operator snapshot (``/health`` feed);
+        ``None`` without a catalog."""
+        if self._catalog is None:
+            return None
+        lock = self._catalog.lock()
+        status = getattr(lock, "status", None)
+        return status() if callable(status) else None
 
     @property
     def current(self) -> Epoch:
@@ -415,7 +443,8 @@ class EngineService:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Retire the current epoch and refuse further queries/updates."""
+        """Retire the current epoch and refuse further queries/updates.
+        A mounted introspection server is stopped with the service."""
         with self._writer_lock:
             with self._publish_lock:
                 if self._closed:
@@ -424,6 +453,8 @@ class EngineService:
                 current = self._current
                 self._draining = [e for e in self._draining if not e.freed]
             current.retire()
+            if self._obs_http is not None:
+                self._obs_http.stop()
 
     def __enter__(self) -> "EngineService":
         return self

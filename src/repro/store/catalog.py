@@ -36,7 +36,7 @@ import threading
 import time
 import weakref
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.core.pattern import PatternCompression, compress_pattern_csr
 from repro.faults.plan import fault_data, fault_point
@@ -291,6 +291,28 @@ class _DirectoryLock:
                 os.utime(self.path, None)
             except OSError:
                 pass  # broken as stale already; the token check handles release
+
+    def status(self) -> Dict[str, Any]:
+        """Operator-facing snapshot of the lock (served by ``/health``).
+
+        ``held_by_us`` is this instance's in-process view; ``owner_pid``
+        reads the file, so a lock held by *another* process still shows
+        who owns it.  Read-only — never acquires or breaks anything.
+        """
+        owner_pid = self._owner_pid()
+        age: Optional[float] = None
+        try:
+            age = round(time.time() - self.path.stat().st_mtime, 3)
+        except OSError:
+            pass
+        return {
+            "path": str(self.path),
+            "held_by_us": self._depth > 0,
+            "depth": self._depth,
+            "owner_pid": owner_pid,
+            "heartbeat_age_s": age,
+            "stale_after_s": self.stale_after,
+        }
 
     def _owner_pid(self) -> Optional[int]:
         """The pid recorded in the lock file, or ``None`` if unreadable."""

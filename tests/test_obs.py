@@ -473,3 +473,167 @@ class TestServingIntegration:
                  for line in trace_out.read_text().splitlines()]
         assert spans and {"trace_id", "span_id", "name", "duration_ms"} <= \
             set(spans[0])
+
+
+# ----------------------------------------------------------------------
+# Prometheus text-exposition conformance (golden file)
+# ----------------------------------------------------------------------
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden",
+                      "metrics_exposition.txt")
+
+
+def _conformance_registry() -> MetricsRegistry:
+    """The deterministic registry the golden file was rendered from —
+    exercises label escaping, multi-family ordering and histograms."""
+    reg = MetricsRegistry()
+    c = reg.counter("demo_requests_total", "Requests by endpoint and status.",
+                    ("endpoint", "status"))
+    c.inc(3, ("/metrics", "200"))
+    c.inc(1, ("/health", "503"))
+    c.inc(1, ('/tricky"quote', "200"))
+    c.inc(2, ("/back\\slash\nnewline", "200"))
+    g = reg.gauge("demo_queue_depth", "Queued tasks awaiting a worker.")
+    g.set(4)
+    h = reg.histogram("demo_latency_seconds",
+                      "Request latency.\nSecond help line with a \\ backslash.",
+                      ("endpoint",), buckets=(0.01, 0.1, 1.0))
+    for v in (0.005, 0.05, 0.05, 0.5, 5.0):
+        h.observe(v, ("/metrics",))
+    h.observe(0.25, ("/health",))
+    return reg
+
+
+class TestExpositionConformance:
+    def test_render_matches_golden(self):
+        with open(GOLDEN, encoding="utf-8") as fh:
+            golden = fh.read()
+        assert _conformance_registry().render() == golden
+
+    def test_help_precedes_type_per_family(self):
+        lines = _conformance_registry().render().splitlines()
+        seen_help: set = set()
+        for line in lines:
+            if line.startswith("# HELP "):
+                seen_help.add(line.split()[2])
+            elif line.startswith("# TYPE "):
+                name = line.split()[2]
+                assert name in seen_help, f"TYPE before HELP for {name}"
+
+    def test_label_escaping(self):
+        text = _conformance_registry().render()
+        # Backslash, double-quote and newline all escape; the raw
+        # (unescaped) values never appear in the exposition.
+        assert 'endpoint="/back\\\\slash\\nnewline"' in text
+        assert 'endpoint="/tricky\\"quote"' in text
+        assert "/back\\slash\nnewline" not in text
+        assert '/tricky"quote' not in text
+        # HELP text escapes newlines too — every line is one sample/comment.
+        assert "# HELP demo_latency_seconds Request latency.\\nSecond" in text
+        for line in text.splitlines():
+            assert line.startswith(("# HELP ", "# TYPE ", "demo_"))
+
+    def test_histogram_invariants(self):
+        text = _conformance_registry().render()
+        # Cumulative buckets: each le bound's count is monotone, +Inf
+        # equals _count, and _sum/_count are present per series.
+        for series, count, total in (("/metrics", 5, 5.605), ("/health", 1, 0.25)):
+            cumulative = []
+            for line in text.splitlines():
+                if line.startswith("demo_latency_seconds_bucket") \
+                        and f'endpoint="{series}"' in line:
+                    cumulative.append(int(line.rsplit(" ", 1)[1]))
+            assert cumulative == sorted(cumulative)
+            assert cumulative[-1] == count  # the +Inf bucket
+            assert f'demo_latency_seconds_count{{endpoint="{series}"}} ' \
+                   f"{count}" in text
+            assert f'demo_latency_seconds_sum{{endpoint="{series}"}} ' \
+                   f"{total}" in text
+
+    def test_schema_metrics_render_parseable(self):
+        # Every schema metric renders with HELP+TYPE and scrape-parseable
+        # sample lines (name{labels} value).
+        from repro.obs.metrics import SCHEMA
+
+        reg = MetricsRegistry()
+        for name in SCHEMA:
+            reg.from_schema(name)
+        text = reg.render()
+        for name in SCHEMA:
+            assert f"# HELP {name} " in text
+            assert f"# TYPE {name} " in text
+
+
+# ----------------------------------------------------------------------
+# Tracer retention bounds (live-ops: a long-lived server must not grow)
+# ----------------------------------------------------------------------
+
+class TestTracerBounds:
+    def test_retention_cap_and_drop_counter(self):
+        with installed() as reg:
+            tracer = Tracer(max_spans=5)
+            with tracing(tracer):
+                for i in range(8):
+                    with trace_span(f"s{i}"):
+                        pass
+            assert len(tracer.spans()) == 5
+            assert tracer.dropped_spans == 3
+            assert reg.get("trace_spans_dropped_total").value() == 3
+            # The slow-query log is a view over the same bounded buffer.
+            assert len(tracer.slow_queries(threshold_s=0.0)) <= 5
+
+    def test_drain_frees_room_and_clear_resets(self):
+        tracer = Tracer(max_spans=2)
+        with tracing(tracer):
+            for _ in range(3):
+                with trace_span("x"):
+                    pass
+        assert tracer.dropped_spans == 1
+        tracer.drain()
+        with tracing(tracer):
+            with trace_span("y"):
+                pass
+        assert [s["name"] for s in tracer.spans()] == ["y"]
+        tracer.clear()
+        assert tracer.dropped_spans == 0
+
+    def test_add_spans_respects_cap(self):
+        tracer = Tracer(max_spans=3)
+        tracer.add_spans([{"name": f"n{i}", "trace_id": "t", "span_id": str(i),
+                           "parent_id": None, "start": 0.0, "end": 0.0,
+                           "duration_ms": 0.0, "wall": 0.0, "attrs": {}}
+                          for i in range(5)])
+        assert len(tracer.spans()) == 3
+        assert tracer.dropped_spans == 2
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+    def test_span_name_stacks_follow_ambient_spans(self):
+        tracer = Tracer()
+        ident = threading.get_ident()
+        with tracing(tracer):
+            assert tracer.span_name_stacks() == {}
+            with trace_span("outer"):
+                with trace_span("inner"):
+                    assert tracer.span_name_stacks()[ident] == \
+                        ("outer", "inner")
+                assert tracer.span_name_stacks()[ident] == ("outer",)
+        assert tracer.span_name_stacks() == {}
+
+    def test_attached_context_is_unnamed(self):
+        from repro.obs.trace import attach
+
+        tracer = Tracer()
+        ident = threading.get_ident()
+        with tracing(tracer):
+            with trace_span("root"):
+                ctx = current_context()
+        with tracing(tracer):
+            with attach(ctx):
+                # Adopted contexts have no name — filtered, and with no
+                # named span open the thread is omitted entirely.
+                assert ident not in tracer.span_name_stacks()
+                with trace_span("named"):
+                    assert tracer.span_name_stacks()[ident] == ("named",)
